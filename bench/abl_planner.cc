@@ -1,0 +1,138 @@
+// Ablation A: per-tier distributed planning overhead (the rationale for the
+// four-planner design in §3.5) plus real-CPU microbenchmarks of the code
+// paths the planner exercises, via google-benchmark.
+//
+// The virtual planning charges come from sim::CostModel; the real-time
+// numbers here measure the actual C++ implementation (parse, deparse,
+// shard pruning, expression evaluation), which is what a production build
+// would pay per query.
+#include <benchmark/benchmark.h>
+
+#include "citus/metadata.h"
+#include "common/hash.h"
+#include "sql/deparser.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "storage/index.h"
+
+using namespace citusx;
+
+namespace {
+
+void BM_ParseFastPathQuery(benchmark::State& state) {
+  const std::string sql = "SELECT v FROM kv WHERE key = 12345";
+  for (auto _ : state) {
+    auto r = sql::Parse(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseFastPathQuery);
+
+void BM_ParseAnalyticalQuery(benchmark::State& state) {
+  const std::string sql =
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity), "
+      "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)), avg(l_discount) "
+      "FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' "
+      "DAY GROUP BY l_returnflag, l_linestatus ORDER BY 1, 2";
+  for (auto _ : state) {
+    auto r = sql::Parse(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseAnalyticalQuery);
+
+void BM_DeparseWithShardMap(benchmark::State& state) {
+  auto stmt = sql::Parse(
+      "SELECT o.total, c.name FROM orders o JOIN customers c ON "
+      "o.tenant = c.tenant WHERE o.tenant = 42 ORDER BY o.total DESC LIMIT 5");
+  std::map<std::string, std::string> map = {{"orders", "orders_102011"},
+                                            {"customers", "customers_102043"}};
+  sql::DeparseOptions opts;
+  opts.table_map = &map;
+  for (auto _ : state) {
+    std::string out = sql::DeparseStatement(*stmt, opts);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DeparseWithShardMap);
+
+void BM_ShardPruning(benchmark::State& state) {
+  citus::CitusTable table;
+  table.dist_col_type = sql::TypeId::kInt8;
+  auto intervals = citus::MakeHashIntervals(32);
+  for (size_t i = 0; i < intervals.size(); i++) {
+    citus::ShardInterval si;
+    si.shard_id = 102008 + i;
+    si.min_hash = intervals[i].first;
+    si.max_hash = intervals[i].second;
+    table.shards.push_back(si);
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    int idx = table.ShardIndexForHash(sql::Datum::Int8(key++).PartitionHash());
+    benchmark::DoNotOptimize(idx);
+  }
+}
+BENCHMARK(BM_ShardPruning);
+
+void BM_EvalRouterPredicate(benchmark::State& state) {
+  auto expr = sql::ParseExpression("key = 12345 AND v > 17");
+  sql::Row row = {sql::Datum::Int8(12345), sql::Datum::Int8(20)};
+  sql::WalkExprMut(*expr, [](sql::Expr& e) {
+    if (e.kind == sql::ExprKind::kColumnRef) {
+      e.slot = e.column == "key" ? 0 : 1;
+    }
+  });
+  sql::EvalContext ctx;
+  ctx.row = &row;
+  for (auto _ : state) {
+    auto r = sql::EvalPredicate(**expr, ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvalRouterPredicate);
+
+void BM_TrigramExtraction(benchmark::State& state) {
+  const std::string text =
+      "fix postgres bug in the distributed query planner and executor";
+  for (auto _ : state) {
+    auto trigrams = storage::GinTrgmIndex::ExtractTrigrams(text);
+    benchmark::DoNotOptimize(trigrams);
+  }
+}
+BENCHMARK(BM_TrigramExtraction);
+
+void BM_LikeMatch(benchmark::State& state) {
+  const std::string text =
+      "refactor commit touching the postgres planner internals";
+  for (auto _ : state) {
+    bool m = sql::LikeMatch(text, "%postgres%", true);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_JsonParseEvent(benchmark::State& state) {
+  const std::string json =
+      R"({"type":"PushEvent","created_at":"2020-02-01T10:00:00Z",)"
+      R"("actor":{"login":"user1"},"repo":{"name":"org/repo"},)"
+      R"("payload":{"size":2,"commits":[{"sha":"abc","message":"fix bug"},)"
+      R"({"sha":"def","message":"update postgres docs"}]}})";
+  for (auto _ : state) {
+    auto r = sql::Json::Parse(json);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_JsonParseEvent);
+
+void BM_PartitionHashInt(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashInt64(k++));
+  }
+}
+BENCHMARK(BM_PartitionHashInt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Shared benchmark scaffolding: the paper's four configurations
+// (PostgreSQL, Citus 0+1, Citus 4+1, Citus 8+1) and result-table printing.
+//
+// All times are *simulated*: nodes have 16 cores, a 7500-IOPS disk, and a
+// buffer pool sized per benchmark so that the single-node working set does
+// not fit in memory but the 4-worker cluster's does (§4: "Each benchmark is
+// structured such that a single server cannot keep all the data in memory,
+// but Citus 4+1 can").
+#ifndef CITUSX_BENCH_BENCH_COMMON_H_
+#define CITUSX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "citus/deploy.h"
+#include "workload/driver.h"
+
+namespace citusx::bench {
+
+struct Setup {
+  std::string name;
+  int workers = 0;
+  bool install_citus = true;
+};
+
+/// The four configurations from §4.
+inline std::vector<Setup> PaperSetups() {
+  return {
+      {"PostgreSQL", 0, false},
+      {"Citus 0+1", 0, true},
+      {"Citus 4+1", 4, true},
+      {"Citus 8+1", 8, true},
+  };
+}
+
+/// Run `body(sim, deployment)` for one setup in a fresh simulation.
+inline void WithDeployment(
+    const Setup& setup, const sim::CostModel& cost,
+    const std::function<void(sim::Simulation&, citus::Deployment&)>& body) {
+  sim::Simulation sim;
+  citus::DeploymentOptions options;
+  options.num_workers = setup.workers;
+  options.install_citus = setup.install_citus;
+  options.cost = cost;
+  citus::Deployment deploy(&sim, options);
+  body(sim, deploy);
+  sim.Shutdown();
+}
+
+/// Run a setup step inside the simulation and propagate failures loudly.
+inline void MustRun(sim::Simulation& sim, const std::function<Status()>& fn) {
+  Status status;
+  sim.Spawn("bench_setup", [&] { status = fn(); });
+  sim.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "benchmark setup failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline void PrintHeader(const char* title, const char* figure) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s; virtual-time simulation, shapes not absolute"
+              " numbers)\n", title, figure);
+  std::printf("================================================================\n");
+}
+
+inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace citusx::bench
+
+#endif  // CITUSX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Figure 8: data warehousing benchmark — queries from TPC-H, reported as
+// queries per hour for one session running the full supported set.
+//
+// Paper: scale factor 100 (~135GB), lineitem and orders co-located by order
+// key, smaller tables as reference tables; two orders of magnitude speedup
+// at 8+1 vs a single PostgreSQL server (CPU-parallel + memory-fit vs an
+// I/O-bound single node). Here: scaled so a 16MB-per-node buffer pool shows
+// the same crossover.
+#include "bench_common.h"
+#include "workload/tpch.h"
+
+using namespace citusx;
+using namespace citusx::bench;
+using namespace citusx::workload;
+
+int main() {
+  PrintHeader("Data warehousing benchmark: queries from TPC-H", "Figure 8");
+  sim::CostModel cost;
+  cost.buffer_pool_bytes = 16LL << 20;
+
+  TpchConfig config;
+  config.scale = 0.3;  // ~45k orders, ~180k lineitems: spills a 16MB pool
+
+  std::printf("%-12s %16s %14s\n", "setup", "total time (s)",
+              "queries/hour");
+  for (const Setup& setup : PaperSetups()) {
+    TpchConfig cfg = config;
+    cfg.use_citus = setup.install_citus;
+    WithDeployment(setup, cost, [&](sim::Simulation& sim,
+                                    citus::Deployment& deploy) {
+      double total_s = 0;
+      int queries = 0;
+      MustRun(sim, [&]() -> Status {
+        auto conn_r = deploy.Connect();
+        if (!conn_r.ok()) return conn_r.status();
+        net::Connection& conn = **conn_r;
+        CITUSX_RETURN_IF_ERROR(TpchCreateSchema(conn, cfg));
+        CITUSX_RETURN_IF_ERROR(TpchLoad(conn, cfg));
+        sim::Time t0 = deploy.sim()->now();
+        for (const auto& [name, sql] : TpchQueries()) {
+          auto r = conn.Query(sql);
+          if (!r.ok()) {
+            return Status(r.status().code(),
+                          name + ": " + r.status().message());
+          }
+          queries++;
+        }
+        total_s = static_cast<double>(deploy.sim()->now() - t0) / 1e9;
+        return Status::OK();
+      });
+      double qph = total_s > 0 ? queries * 3600.0 / total_s : 0;
+      std::printf("%-12s %16.2f %14.0f\n", setup.name.c_str(), total_s, qph);
+    });
+  }
+  std::printf("\nNote: %zu TPC-H queries supported by the dialect "
+              "(Q1,Q3,Q5,Q6,Q7,Q10,Q12,Q14,Q19), one session.\n",
+              TpchQueries().size());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 9: distributed transaction (2PC) overhead.
+//
+// Paper: two 50GB pgbench tables distributed and co-located by key; a
+// two-statement transaction updates both. One run uses the same random key
+// for both updates (single-node transaction, delegated commit); the other
+// uses different keys (two-phase commit when the keys land on different
+// nodes). Expected shape: 2PC costs 20-30% and both modes scale with nodes.
+#include "bench_common.h"
+#include "common/str.h"
+
+using namespace citusx;
+using namespace citusx::bench;
+using namespace citusx::workload;
+
+namespace {
+
+constexpr int64_t kRows = 500000;
+
+Status Setup2Tables(citus::Deployment& deploy, bool use_citus) {
+  auto conn_r = deploy.Connect();
+  if (!conn_r.ok()) return conn_r.status();
+  net::Connection& conn = **conn_r;
+  for (const char* t : {"a1", "a2"}) {
+    CITUSX_RETURN_IF_ERROR(
+        conn.Query(StrFormat(
+                       "CREATE TABLE %s (key bigint PRIMARY KEY, v bigint)", t))
+            .status());
+    if (use_citus) {
+      CITUSX_RETURN_IF_ERROR(
+          conn.Query(StrFormat("SELECT create_distributed_table('%s', 'key'%s)",
+                               t,
+                               std::string(t) == "a2"
+                                   ? ", colocate_with := 'a1'"
+                                   : ""))
+              .status());
+    }
+    std::vector<std::vector<std::string>> rows;
+    for (int64_t k = 0; k < kRows; k++) {
+      rows.push_back({std::to_string(k), "0"});
+      if (rows.size() == 10000) {
+        CITUSX_RETURN_IF_ERROR(conn.CopyIn(t, {}, std::move(rows)).status());
+        rows.clear();
+      }
+    }
+    if (!rows.empty()) {
+      CITUSX_RETURN_IF_ERROR(conn.CopyIn(t, {}, std::move(rows)).status());
+    }
+  }
+  return Status::OK();
+}
+
+ClientTxn TwoUpdateTxn(bool same_key) {
+  return [same_key](net::Connection& conn, int client, Rng& rng) -> Status {
+    int64_t key1 = rng.Uniform(0, kRows - 1);
+    int64_t key2 = same_key ? key1 : rng.Uniform(0, kRows - 1);
+    CITUSX_RETURN_IF_ERROR(conn.Query("BEGIN").status());
+    auto u1 = conn.Query(StrFormat(
+        "UPDATE a1 SET v = v + 1 WHERE key = %lld",
+        static_cast<long long>(key1)));
+    if (!u1.ok()) {
+      auto rb = conn.Query("ROLLBACK");
+      return u1.status();
+    }
+    auto u2 = conn.Query(StrFormat(
+        "UPDATE a2 SET v = v - 1 WHERE key = %lld",
+        static_cast<long long>(key2)));
+    if (!u2.ok()) {
+      auto rb = conn.Query("ROLLBACK");
+      return u2.status();
+    }
+    return conn.Query("COMMIT").status();
+  };
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Distributed transactions: 2PC overhead (pgbench-style)",
+              "Figure 9");
+  sim::CostModel cost;
+  // The paper's pgbench tables (50GB) exceed memory: updates are disk-bound
+  // per worker, which is what makes both modes scale with node count.
+  cost.buffer_pool_bytes = 4LL << 20;
+
+  std::printf("%-12s %16s %16s %10s\n", "setup", "same-key (TPS)",
+              "diff-key (TPS)", "penalty");
+  for (const Setup& setup : PaperSetups()) {
+    if (!setup.install_citus) continue;  // the 2PC comparison is Citus-only
+    double tps[2] = {0, 0};
+    for (int mode = 0; mode < 2; mode++) {
+      WithDeployment(setup, cost, [&](sim::Simulation& sim,
+                                      citus::Deployment& deploy) {
+        MustRun(sim, [&] { return Setup2Tables(deploy, true); });
+        DriverOptions opts;
+        opts.clients = 96;
+        opts.warmup = 2 * sim::kSecond;
+        opts.duration = 10 * sim::kSecond;
+        opts.sleep_between = 0;
+        DriverResult r = RunDriver(&sim, &deploy.cluster().directory(), opts,
+                                   TwoUpdateTxn(mode == 0));
+        tps[mode] = r.PerSecond();
+      });
+    }
+    std::printf("%-12s %16.0f %16.0f %9.0f%%\n", setup.name.c_str(), tps[0],
+                tps[1], 100.0 * (1.0 - tps[1] / tps[0]));
+  }
+  std::printf("\nNote: same-key = both updates on one co-located shard group "
+              "(single-node commit);\ndiff-key = random keys, usually two "
+              "nodes (PREPARE TRANSACTION + COMMIT PREPARED).\n");
+  return 0;
+}

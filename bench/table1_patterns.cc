@@ -1,0 +1,188 @@
+// Tables 1 & 2: workload-pattern characterization and the capability matrix.
+//
+// Table 1 of the paper lists the typical query latency each workload pattern
+// expects (MT ~10ms, RA ~100ms, HC ~1ms, DW ~10s+). This bench runs one
+// representative operation per pattern on a Citus 4+1 cluster and prints the
+// measured (virtual) latency next to the paper's expectation. Table 2's
+// capability matrix is exercised feature-by-feature and printed as a
+// checklist.
+#include "bench_common.h"
+#include "common/str.h"
+#include "workload/gharchive.h"
+#include "workload/tpch.h"
+
+using namespace citusx;
+using namespace citusx::bench;
+using namespace citusx::workload;
+
+namespace {
+
+double MeasureMs(sim::Simulation& sim, net::Connection& conn,
+                 const std::string& sql, int runs = 5) {
+  sim::Time total = 0;
+  for (int i = 0; i < runs; i++) {
+    sim::Time t0 = sim.now();
+    auto r = conn.Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "  query failed: %s\n  %s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      return -1;
+    }
+    total += sim.now() - t0;
+  }
+  return static_cast<double>(total) / runs / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Workload-pattern characterization", "Tables 1 and 2");
+  Setup setup{"Citus 4+1", 4, true};
+  sim::CostModel cost;
+  cost.buffer_pool_bytes = 64LL << 20;
+  WithDeployment(setup, cost, [&](sim::Simulation& sim,
+                                  citus::Deployment& deploy) {
+    double mt_ms = 0, ra_ms = 0, hc_ms = 0, dw_ms = 0;
+    bool capabilities_ok = true;
+    MustRun(sim, [&]() -> Status {
+      auto conn_r = deploy.Connect();
+      if (!conn_r.ok()) return conn_r.status();
+      net::Connection& conn = **conn_r;
+
+      // --- MT: a routed multi-statement tenant transaction ---
+      CITUSX_RETURN_IF_ERROR(
+          conn.Query("CREATE TABLE tenants_orders (tenant bigint, id bigint, "
+                     "total double precision, PRIMARY KEY (tenant, id))")
+              .status());
+      CITUSX_RETURN_IF_ERROR(
+          conn.Query("SELECT create_distributed_table('tenants_orders', "
+                     "'tenant')")
+              .status());
+      for (int t = 0; t < 50; t++) {
+        for (int o = 0; o < 20; o++) {
+          CITUSX_RETURN_IF_ERROR(
+              conn.Query(StrFormat(
+                             "INSERT INTO tenants_orders VALUES (%d, %d, %d.5)",
+                             t, o, o))
+                  .status());
+        }
+      }
+      // --- HC: key-value table ---
+      CITUSX_RETURN_IF_ERROR(
+          conn.Query("CREATE TABLE objects (key bigint PRIMARY KEY, doc jsonb)")
+              .status());
+      CITUSX_RETURN_IF_ERROR(
+          conn.Query("SELECT create_distributed_table('objects', 'key')")
+              .status());
+      for (int k = 0; k < 200; k++) {
+        CITUSX_RETURN_IF_ERROR(
+            conn.Query(StrFormat("INSERT INTO objects VALUES (%d, "
+                                 "'{\"n\": %d}'::jsonb)",
+                                 k, k))
+                .status());
+      }
+      // --- RA: github events with rollup ---
+      GhArchiveConfig gh;
+      CITUSX_RETURN_IF_ERROR(GhCreateSchema(conn, gh));
+      Rng rng(3);
+      auto rows = GhGenerateEvents(rng, gh, 5000, 2020, 2, 1);
+      CITUSX_RETURN_IF_ERROR(
+          conn.CopyIn("github_events", {}, std::move(rows)).status());
+      // --- DW: TPC-H ---
+      TpchConfig tpch;
+      tpch.scale = 0.01;
+      CITUSX_RETURN_IF_ERROR(TpchCreateSchema(conn, tpch));
+      CITUSX_RETURN_IF_ERROR(TpchLoad(conn, tpch));
+
+      mt_ms = MeasureMs(sim, conn,
+                        "SELECT count(*), sum(total) FROM tenants_orders "
+                        "WHERE tenant = 7");
+      hc_ms = MeasureMs(sim, conn, "SELECT doc FROM objects WHERE key = 42");
+      ra_ms = MeasureMs(sim, conn, GhDashboardQuery());
+      dw_ms = MeasureMs(sim, conn, TpchQueries()[0].second, 2);
+
+      // --- Table 2 capability checklist (executed live) ---
+      struct Check {
+        const char* name;
+        std::function<Status()> fn;
+      };
+      std::vector<Check> checks = {
+          {"co-located distributed join",
+           [&] {
+             return conn
+                 .Query("SELECT count(*) FROM tenants_orders a JOIN "
+                        "tenants_orders b ON a.tenant = b.tenant "
+                        "WHERE a.tenant = 3")
+                 .status();
+           }},
+          {"reference table join",
+           [&] {
+             return conn
+                 .Query("SELECT count(*) FROM lineitem, nation WHERE "
+                        "n_nationkey = 3")
+                 .status();
+           }},
+          {"parallel distributed SELECT",
+           [&] {
+             return conn.Query("SELECT avg(total) FROM tenants_orders")
+                 .status();
+           }},
+          {"parallel distributed DML",
+           [&] {
+             return conn
+                 .Query("UPDATE tenants_orders SET total = total + 0")
+                 .status();
+           }},
+          {"distributed transaction (2PC)",
+           [&]() -> Status {
+             CITUSX_RETURN_IF_ERROR(conn.Query("BEGIN").status());
+             CITUSX_RETURN_IF_ERROR(
+                 conn.Query("UPDATE objects SET doc = '{}'::jsonb WHERE key "
+                            "= 1")
+                     .status());
+             CITUSX_RETURN_IF_ERROR(
+                 conn.Query("UPDATE objects SET doc = '{}'::jsonb WHERE key "
+                            "= 2")
+                     .status());
+             return conn.Query("COMMIT").status();
+           }},
+          {"distributed schema change",
+           [&] {
+             return conn.Query("CREATE INDEX obj_doc ON objects (doc)")
+                 .status();
+           }},
+          {"non-co-located join (repartition)",
+           [&] {
+             return conn
+                 .Query("SELECT count(*) FROM tenants_orders t JOIN objects o "
+                        "ON t.id = o.key")
+                 .status();
+           }},
+      };
+      std::printf("\nTable 2 capability checklist (Citus 4+1):\n");
+      for (auto& c : checks) {
+        Status st = c.fn();
+        capabilities_ok &= st.ok();
+        std::printf("  [%s] %s%s\n", st.ok() ? "x" : " ", c.name,
+                    st.ok() ? "" : (" -- " + st.ToString()).c_str());
+      }
+      return Status::OK();
+    });
+    std::printf("\nTable 1 latency characterization (measured on Citus 4+1):\n");
+    std::printf("  %-28s %14s %16s\n", "pattern", "paper target",
+                "measured (ms)");
+    std::printf("  %-28s %14s %16.2f\n", "multi-tenant (router)", "~10ms",
+                mt_ms);
+    std::printf("  %-28s %14s %16.2f\n", "real-time analytics", "~100ms",
+                ra_ms);
+    std::printf("  %-28s %14s %16.2f\n", "high-performance CRUD", "~1ms",
+                hc_ms);
+    std::printf("  %-28s %14s %16.2f\n", "data warehousing (Q1)", "~10s+",
+                dw_ms);
+    if (!capabilities_ok) {
+      std::printf("\nWARNING: some Table 2 capabilities failed.\n");
+      return;
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,90 @@
+// High-performance CRUD example (paper §2.3): a JSON document store
+// distributed by key, exercising fast-path routed CRUD, every-worker-as-
+// coordinator connections, multi-node atomic updates, and the connection
+// scaling limits the paper discusses.
+#include <cstdio>
+
+#include "citus/deploy.h"
+#include "common/str.h"
+
+using namespace citusx;
+
+namespace {
+
+engine::QueryResult Run(net::Connection& conn, const std::string& sql) {
+  auto r = conn.Query(sql);
+  if (!r.ok()) {
+    std::printf("!! %s\n   %s\n", sql.c_str(), r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim;
+  citus::DeploymentOptions options;
+  options.num_workers = 2;
+  citus::Deployment deploy(&sim, options);
+
+  sim.Spawn("crud_app", [&] {
+    auto conn_r = deploy.Connect();
+    if (!conn_r.ok()) return;
+    net::Connection& conn = **conn_r;
+    Run(conn,
+        "CREATE TABLE documents (key bigint PRIMARY KEY, doc jsonb, "
+        "updated_at timestamp)");
+    Run(conn, "SELECT create_distributed_table('documents', 'key')");
+
+    // Create.
+    for (int k = 0; k < 50; k++) {
+      Run(conn, StrFormat(
+                    "INSERT INTO documents VALUES (%d, '{\"views\": 0, "
+                    "\"tags\": [\"new\"]}'::jsonb, '2021-06-20 12:00:00')", k));
+    }
+    // Read (fast path: one round trip to one shard).
+    sim::Time t0 = sim.now();
+    auto doc = Run(conn, "SELECT doc FROM documents WHERE key = 17");
+    std::printf("read key 17 in %.2f ms: %s\n",
+                static_cast<double>(sim.now() - t0) / 1e6,
+                doc.rows[0][0].ToText().c_str());
+    // Update.
+    Run(conn,
+        "UPDATE documents SET doc = '{\"views\": 1}'::jsonb WHERE key = 17");
+    // Delete.
+    Run(conn, "DELETE FROM documents WHERE key = 18");
+
+    // Scale the number of connections (§2.3): any node can process
+    // distributed queries, so clients connect to workers directly.
+    auto worker_conn = deploy.Connect("worker1");
+    if (worker_conn.ok()) {
+      auto via_worker =
+          Run(**worker_conn, "SELECT doc FROM documents WHERE key = 17");
+      std::printf("read key 17 via worker1: %s\n",
+                  via_worker.rows[0][0].ToText().c_str());
+    }
+
+    // Atomic update across nodes (§5: "cleanse bad data"): a multi-shard
+    // UPDATE runs as one distributed 2PC transaction.
+    auto cleansed = Run(conn,
+                        "UPDATE documents SET doc = '{\"views\": 0}'::jsonb "
+                        "WHERE key >= 0");
+    std::printf("cleansed %lld documents atomically (2PC across workers)\n",
+                static_cast<long long>(cleansed.rows_affected));
+
+    // Scan across objects (parallel distributed SELECT).
+    auto stats = Run(conn, "SELECT count(*) FROM documents");
+    std::printf("documents remaining: %lld\n",
+                static_cast<long long>(stats.rows[0][0].int_value()));
+
+    // Connection limits are real: the gate refuses when a node is full.
+    citus::CitusExtension* ext = deploy.extension(deploy.coordinator());
+    std::printf("coordinator outgoing connections: worker1=%d worker2=%d\n",
+                ext->outgoing_connections("worker1"),
+                ext->outgoing_connections("worker2"));
+  });
+  sim.Run();
+  sim.Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Distributed DDL propagation (§3.8): CREATE INDEX / DROP TABLE / TRUNCATE
+// on Citus tables propagate to every shard placement in a parallel
+// distributed transaction.
+#include "citus/planner.h"
+#include "sql/deparser.h"
+
+namespace citusx::citus {
+
+namespace {
+
+// One task per shard placement of `table`, running `stmt` deparsed with the
+// shard's table map (and index-name rewriting).
+std::vector<Task> ShardDdlTasks(const CitusTable& table,
+                                const sql::Statement& stmt) {
+  std::vector<Task> tasks;
+  int index = 0;
+  auto add_task = [&](const std::string& worker, uint64_t shard_id,
+                      int shard_group) {
+    std::map<std::string, std::string> map = {
+        {table.name, table.ShardName(shard_id)}};
+    if (stmt.kind == sql::Statement::Kind::kCreateIndex) {
+      map[stmt.create_index->index] =
+          stmt.create_index->index + "_" + std::to_string(shard_id);
+    }
+    sql::DeparseOptions opts;
+    opts.table_map = &map;
+    Task t;
+    t.index = index++;
+    t.worker = worker;
+    t.colocation_id = table.colocation_id;
+    t.shard_group = shard_group;
+    t.sql = sql::DeparseStatement(stmt, opts);
+    t.is_write = true;
+    tasks.push_back(std::move(t));
+  };
+  if (table.is_reference) {
+    for (const auto& node_name : table.replica_nodes) {
+      add_task(node_name, table.shards[0].shard_id, -1);
+    }
+  } else {
+    for (size_t i = 0; i < table.shards.size(); i++) {
+      add_task(table.shards[i].placement, table.shards[i].shard_id,
+               static_cast<int>(i));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
+    CitusExtension* ext, engine::Session& session, const sql::Statement& stmt) {
+  CitusMetadata& metadata = ext->metadata();
+  std::string table_name;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateIndex:
+      table_name = stmt.create_index->table;
+      break;
+    case sql::Statement::Kind::kDropTable:
+      table_name = stmt.drop_table->table;
+      break;
+    case sql::Statement::Kind::kTruncate: {
+      // Multi-table TRUNCATE: handle only if every table is a Citus table.
+      bool any_citus = false;
+      for (const auto& t : stmt.truncate->tables) {
+        any_citus |= metadata.Find(t) != nullptr;
+      }
+      if (!any_citus) return std::optional<engine::QueryResult>();
+      AdaptiveExecutor executor(ext);
+      for (const auto& t : stmt.truncate->tables) {
+        CitusTable* table = metadata.Find(t);
+        if (table == nullptr) {
+          return Status::NotSupported(
+              "TRUNCATE mixing local and distributed tables");
+        }
+        sql::Statement one;
+        one.kind = sql::Statement::Kind::kTruncate;
+        one.truncate = std::make_shared<sql::TruncateStmt>();
+        one.truncate->tables = {t};
+        auto tasks = ShardDdlTasks(*table, one);
+        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                                executor.Execute(session, std::move(tasks)));
+        (void)results;
+        table->approx_rows = 0;
+        table->approx_bytes = 0;
+      }
+      engine::QueryResult out;
+      out.command_tag = "TRUNCATE TABLE";
+      return std::optional<engine::QueryResult>(std::move(out));
+    }
+    default:
+      return std::optional<engine::QueryResult>();  // not a Citus concern
+  }
+  CitusTable* table = metadata.Find(table_name);
+  if (table == nullptr) return std::optional<engine::QueryResult>();
+
+  AdaptiveExecutor executor(ext);
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateIndex: {
+      auto tasks = ShardDdlTasks(*table, stmt);
+      CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                              executor.Execute(session, std::move(tasks)));
+      (void)results;
+      // Remember for future shard placements (moves), and create the index
+      // on the coordinator's (empty) shell so deparsing stays complete.
+      table->post_ddl.push_back(sql::DeparseStatement(stmt));
+      engine::QueryResult out;
+      out.command_tag = "CREATE INDEX";
+      return std::optional<engine::QueryResult>(std::move(out));
+    }
+    case sql::Statement::Kind::kDropTable: {
+      auto tasks = ShardDdlTasks(*table, stmt);
+      // Also drop the shell tables on every other node.
+      int index = static_cast<int>(tasks.size());
+      for (const auto& worker : metadata.workers) {
+        if (worker == ext->node()->name()) continue;
+        Task t;
+        t.index = index++;
+        t.worker = worker;
+        t.sql = "DROP TABLE IF EXISTS " + table_name;
+        t.is_write = true;
+        tasks.push_back(std::move(t));
+      }
+      // Remove the metadata first so the workers' utility hooks treat the
+      // shell drops as plain local DDL (no re-propagation).
+      metadata.Remove(table_name);
+      table = nullptr;
+      CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                              executor.Execute(session, std::move(tasks)));
+      (void)results;
+      // Drop the coordinator shell too.
+      auto local = session.node()->catalog().DropTable(table_name);
+      (void)local;
+      engine::QueryResult out;
+      out.command_tag = "DROP TABLE";
+      return std::optional<engine::QueryResult>(std::move(out));
+    }
+    default:
+      return std::optional<engine::QueryResult>();
+  }
+}
+
+}  // namespace citusx::citus

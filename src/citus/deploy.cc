@@ -1,0 +1,41 @@
+#include "citus/deploy.h"
+
+namespace citusx::citus {
+
+Deployment::Deployment(sim::Simulation* sim, const DeploymentOptions& options)
+    : sim_(sim) {
+  cluster_ = std::make_unique<net::Cluster>(
+      sim, options.cost, options.num_workers + options.spare_workers);
+  metadata_ = std::make_shared<CitusMetadata>();
+  metadata_->default_shard_count = options.citus.shard_count;
+  if (options.install_citus) {
+    int active = options.num_workers == 0
+                     ? 1
+                     : options.num_workers;  // 0+1: coordinator is the worker
+    std::vector<engine::Node*> ws = cluster_->workers();
+    for (int i = 0; i < active && i < static_cast<int>(ws.size()); i++) {
+      metadata_->workers.push_back(ws[static_cast<size_t>(i)]->name());
+    }
+    for (size_t i = 0; i < cluster_->num_nodes(); i++) {
+      engine::Node* node = cluster_->node(i);
+      CitusConfig cfg = options.citus;
+      cfg.is_coordinator = node == cluster_->coordinator();
+      extensions_.push_back(
+          CitusExtension::Install(node, &cluster_->directory(), metadata_, cfg));
+    }
+  }
+  if (options.start_background_workers) {
+    for (size_t i = 0; i < cluster_->num_nodes(); i++) {
+      cluster_->node(i)->StartBackgroundWorkers();
+    }
+  }
+}
+
+Deployment::~Deployment() {
+  for (size_t i = 0; i < cluster_->num_nodes(); i++) {
+    UninstallExtension(cluster_->node(i));
+  }
+  for (CitusExtension* ext : extensions_) delete ext;
+}
+
+}  // namespace citusx::citus

@@ -1,0 +1,62 @@
+// Deployment helper: builds a Citus cluster (coordinator + workers, shared
+// metadata, extensions installed, background workers started) — the unit
+// benches, tests, and examples operate on.
+#ifndef CITUSX_CITUS_DEPLOY_H_
+#define CITUSX_CITUS_DEPLOY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "citus/extension.h"
+#include "net/cluster.h"
+
+namespace citusx::citus {
+
+struct DeploymentOptions {
+  /// 0 = the coordinator doubles as the only worker ("Citus 0+1").
+  int num_workers = 0;
+  /// Extra nodes created (extension installed) but not registered as
+  /// workers; add them later with SELECT citus_add_node('workerN').
+  int spare_workers = 0;
+  sim::CostModel cost;
+  CitusConfig citus;
+  bool start_background_workers = true;
+  /// Skip installing the extension entirely ("plain PostgreSQL" baseline).
+  bool install_citus = true;
+};
+
+class Deployment {
+ public:
+  Deployment(sim::Simulation* sim, const DeploymentOptions& options);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  net::Cluster& cluster() { return *cluster_; }
+  engine::Node* coordinator() { return cluster_->coordinator(); }
+  std::vector<engine::Node*> workers() { return cluster_->workers(); }
+  CitusMetadata& metadata() { return *metadata_; }
+  CitusExtension* extension(engine::Node* node) { return GetExtension(node); }
+  sim::Simulation* sim() { return sim_; }
+
+  /// Open a client connection (driver-side, no client node) to `name`.
+  Result<std::unique_ptr<net::Connection>> Connect(
+      const std::string& name = "coordinator") {
+    return cluster_->directory().Connect(nullptr, name);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  std::unique_ptr<net::Cluster> cluster_;
+  std::shared_ptr<CitusMetadata> metadata_;
+  std::vector<CitusExtension*> extensions_;
+};
+
+/// Remove the node->extension registration (called by ~Deployment).
+void UninstallExtension(engine::Node* node);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_DEPLOY_H_

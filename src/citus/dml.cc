@@ -1,0 +1,552 @@
+// Distributed DML: routed and multi-shard INSERT/UPDATE/DELETE, the three
+// INSERT..SELECT strategies (§3.8), distributed COPY, and stored-procedure
+// delegation.
+#include "citus/planner.h"
+#include "engine/planner.h"
+#include "sql/deparser.h"
+#include "sql/eval.h"
+
+namespace citusx::citus {
+
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+// Find the dist-column equality value in an UPDATE/DELETE WHERE clause.
+std::optional<sql::Datum> DmlDistRestriction(
+    const ExprPtr& where, const CitusTable& table,
+    const std::vector<sql::Datum>& params) {
+  std::vector<ExprPtr> conjuncts;
+  engine::SplitConjuncts(where, &conjuncts);
+  for (const auto& c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    ExprPtr col = c->args[0], val = c->args[1];
+    auto is_dist_col = [&](const ExprPtr& e) {
+      return e->kind == ExprKind::kColumnRef && e->column == table.dist_column;
+    };
+    if (!is_dist_col(col)) std::swap(col, val);
+    if (!is_dist_col(col)) continue;
+    bool pure = true;
+    sql::WalkExpr(val, [&](const Expr& x) {
+      if (x.kind == ExprKind::kColumnRef) pure = false;
+    });
+    if (!pure) continue;
+    sql::EvalContext ec;
+    ec.params = &params;
+    auto v = sql::Eval(*val, ec);
+    if (v.ok() && !v->is_null()) return *v;
+  }
+  return std::nullopt;
+}
+
+// Replica task list for reference-table DML: one task per replica node.
+std::vector<Task> ReferenceTableTasks(const CitusTable& table,
+                                      const std::string& sql) {
+  std::vector<Task> tasks;
+  int i = 0;
+  for (const auto& node_name : table.replica_nodes) {
+    Task t;
+    t.index = i++;
+    t.worker = node_name;
+    t.sql = sql;
+    t.is_write = true;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+Result<engine::QueryResult> DistributedPlanner::ExecuteInsert(
+    engine::Session& session, const sql::InsertStmt& ins,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  if (ins.select != nullptr) {
+    return ExecuteInsertSelect(session, ins, params, analysis);
+  }
+  CitusTable* table = ext_->metadata().Find(ins.table);
+  const auto& cost = ext_->node()->cost();
+  sql::DeparseOptions opts;
+  opts.params = &params;
+
+  sql::Statement stmt;
+  stmt.kind = sql::Statement::Kind::kInsert;
+  stmt.insert = std::make_shared<sql::InsertStmt>(ins);
+
+  AdaptiveExecutor executor(ext_);
+  if (table->is_reference) {
+    if (!ext_->node()->cpu().Consume(cost.plan_router)) {
+      return Status::Cancelled("simulation stopping");
+    }
+    router_count++;
+    std::map<std::string, std::string> map = {
+        {table->name, table->ShardName(table->shards[0].shard_id)}};
+    opts.table_map = &map;
+    auto tasks = ReferenceTableTasks(*table, sql::DeparseStatement(stmt, opts));
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, std::move(tasks)));
+    table->approx_rows += results.empty() ? 0 : results[0].rows_affected;
+    return std::move(results[0]);
+  }
+
+  // Locate the distribution column among the insert columns.
+  engine::TableInfo* shell = ext_->node()->catalog().Find(ins.table);
+  if (shell == nullptr) return Status::NotFound("shell table missing");
+  int dist_pos = -1;
+  if (ins.columns.empty()) {
+    dist_pos = table->dist_col_index;
+  } else {
+    for (size_t i = 0; i < ins.columns.size(); i++) {
+      if (ins.columns[i] == table->dist_column) {
+        dist_pos = static_cast<int>(i);
+      }
+    }
+  }
+  if (dist_pos < 0) {
+    return Status::InvalidArgument(
+        "cannot perform an INSERT without the partition column");
+  }
+  // Group VALUES rows by target shard.
+  std::map<int, std::vector<const std::vector<ExprPtr>*>> by_shard;
+  sql::EvalContext ec;
+  ec.params = &params;
+  for (const auto& row : ins.values) {
+    if (dist_pos >= static_cast<int>(row.size())) {
+      return Status::InvalidArgument("INSERT row is missing columns");
+    }
+    CITUSX_ASSIGN_OR_RETURN(sql::Datum v,
+                            sql::Eval(*row[static_cast<size_t>(dist_pos)], ec));
+    if (v.is_null()) {
+      return Status::InvalidArgument(
+          "the partition column value cannot be NULL");
+    }
+    // Coerce to the declared column type so hashing matches routing of
+    // queries (e.g. an int literal inserted into a text column).
+    CITUSX_ASSIGN_OR_RETURN(
+        v, v.CastTo(table->dist_col_type));
+    int idx = table->ShardIndexForHash(v.PartitionHash());
+    if (idx < 0) return Status::Internal("no shard for hash value");
+    by_shard[idx].push_back(&row);
+  }
+  if (!ext_->node()->cpu().Consume(
+          by_shard.size() == 1 && ins.values.size() == 1 ? cost.plan_fast_path
+                                                         : cost.plan_router)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  (by_shard.size() == 1 && ins.values.size() == 1 ? fast_path_count
+                                                  : router_count)++;
+  std::vector<Task> tasks;
+  int index = 0;
+  for (const auto& [shard_idx, rows] : by_shard) {
+    sql::InsertStmt shard_ins;
+    shard_ins.table = ins.table;
+    shard_ins.columns = ins.columns;
+    shard_ins.on_conflict_do_nothing = ins.on_conflict_do_nothing;
+    for (const auto* row : rows) shard_ins.values.push_back(*row);
+    sql::Statement shard_stmt;
+    shard_stmt.kind = sql::Statement::Kind::kInsert;
+    shard_stmt.insert = std::make_shared<sql::InsertStmt>(std::move(shard_ins));
+    std::map<std::string, std::string> map = {
+        {table->name,
+         table->ShardName(table->shards[static_cast<size_t>(shard_idx)].shard_id)}};
+    sql::DeparseOptions topts;
+    topts.params = &params;
+    topts.table_map = &map;
+    Task t;
+    t.index = index++;
+    t.worker = table->shards[static_cast<size_t>(shard_idx)].placement;
+    t.colocation_id = table->colocation_id;
+    t.shard_group = shard_idx;
+    t.sql = sql::DeparseStatement(shard_stmt, topts);
+    t.is_write = true;
+    tasks.push_back(std::move(t));
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                          executor.Execute(session, std::move(tasks)));
+  engine::QueryResult out;
+  for (const auto& r : results) out.rows_affected += r.rows_affected;
+  out.command_tag = StrFormat("INSERT 0 %lld",
+                              static_cast<long long>(out.rows_affected));
+  table->approx_rows += out.rows_affected;
+  return out;
+}
+
+Result<engine::QueryResult> DistributedPlanner::ExecuteDml(
+    engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  if (stmt.kind == sql::Statement::Kind::kInsert) {
+    return ExecuteInsert(session, *stmt.insert, params, analysis);
+  }
+  const std::string& table_name = stmt.kind == sql::Statement::Kind::kUpdate
+                                      ? stmt.update->table
+                                      : stmt.del->table;
+  const ExprPtr& where = stmt.kind == sql::Statement::Kind::kUpdate
+                             ? stmt.update->where
+                             : stmt.del->where;
+  CitusTable* table = ext_->metadata().Find(table_name);
+  const auto& cost = ext_->node()->cost();
+  AdaptiveExecutor executor(ext_);
+
+  if (table->is_reference) {
+    if (!ext_->node()->cpu().Consume(cost.plan_router)) {
+      return Status::Cancelled("simulation stopping");
+    }
+    router_count++;
+    std::map<std::string, std::string> map = {
+        {table->name, table->ShardName(table->shards[0].shard_id)}};
+    sql::DeparseOptions opts;
+    opts.params = &params;
+    opts.table_map = &map;
+    auto tasks = ReferenceTableTasks(*table, sql::DeparseStatement(stmt, opts));
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, std::move(tasks)));
+    return std::move(results[0]);
+  }
+
+  auto restriction = DmlDistRestriction(where, *table, params);
+  if (restriction.has_value()) {
+    // Router (fast path) DML: single shard.
+    CITUSX_ASSIGN_OR_RETURN(sql::Datum coerced,
+                            restriction->CastTo(table->dist_col_type));
+    int idx = table->ShardIndexForHash(coerced.PartitionHash());
+    if (idx < 0) return Status::Internal("no shard for hash value");
+    if (!ext_->node()->cpu().Consume(cost.plan_fast_path)) {
+      return Status::Cancelled("simulation stopping");
+    }
+    fast_path_count++;
+    std::map<std::string, std::string> map = {
+        {table->name,
+         table->ShardName(table->shards[static_cast<size_t>(idx)].shard_id)}};
+    sql::DeparseOptions opts;
+    opts.params = &params;
+    opts.table_map = &map;
+    Task t;
+    t.worker = table->shards[static_cast<size_t>(idx)].placement;
+    t.colocation_id = table->colocation_id;
+    t.shard_group = idx;
+    t.sql = sql::DeparseStatement(stmt, opts);
+    t.is_write = true;
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, {std::move(t)}));
+    return std::move(results[0]);
+  }
+
+  // Parallel multi-shard DML (§3.8 "parallel, distributed DML").
+  if (!ext_->node()->cpu().Consume(cost.plan_pushdown)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  pushdown_count++;
+  std::vector<Task> tasks;
+  for (size_t i = 0; i < table->shards.size(); i++) {
+    std::map<std::string, std::string> map = {
+        {table->name, table->ShardName(table->shards[i].shard_id)}};
+    for (const auto* ref : analysis.reference) {
+      map[ref->name] = ref->ShardName(ref->shards[0].shard_id);
+    }
+    sql::DeparseOptions opts;
+    opts.params = &params;
+    opts.table_map = &map;
+    Task t;
+    t.index = static_cast<int>(i);
+    t.worker = table->shards[i].placement;
+    t.colocation_id = table->colocation_id;
+    t.shard_group = static_cast<int>(i);
+    t.sql = sql::DeparseStatement(stmt, opts);
+    t.is_write = true;
+    tasks.push_back(std::move(t));
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                          executor.Execute(session, std::move(tasks)));
+  engine::QueryResult out;
+  for (const auto& r : results) out.rows_affected += r.rows_affected;
+  out.command_tag = StrFormat(
+      "%s %lld", stmt.kind == sql::Statement::Kind::kUpdate ? "UPDATE" : "DELETE",
+      static_cast<long long>(out.rows_affected));
+  return out;
+}
+
+Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
+    engine::Session& session, const sql::InsertStmt& ins,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  CitusTable* target = ext_->metadata().Find(ins.table);
+  if (target == nullptr) {
+    return Status::NotSupported(
+        "INSERT .. SELECT into a local table from distributed tables");
+  }
+  const sql::SelectStmt& sel = *ins.select;
+  TableAnalysis source = AnalyzeSelectTables(ext_->metadata(), sel);
+
+  // Strategy 1: co-located INSERT..SELECT executed per shard pair (§3.8).
+  // Requirements: target distributed; source dist tables co-located with the
+  // target; no merge step (subqueries safe, top-level group-by includes the
+  // dist column when aggregating); the target's dist column receives a
+  // source dist column at the right position.
+  bool colocated = !target->is_reference && !source.distributed.empty();
+  for (const auto* t : source.distributed) {
+    colocated &= t->colocation_id == target->colocation_id;
+  }
+  if (colocated) {
+    std::string reason;
+    colocated &= SubqueryPushdownSafe(sel, ext_->metadata(), &reason);
+    std::string tmp;
+    colocated &= CheckColocatedJoins(sel, source, ext_->metadata(), &tmp);
+  }
+  if (colocated) {
+    // Locate the target position of the distribution column.
+    engine::TableInfo* shell = ext_->node()->catalog().Find(ins.table);
+    int dist_pos = -1;
+    if (ins.columns.empty()) {
+      dist_pos = target->dist_col_index;
+    } else {
+      for (size_t i = 0; i < ins.columns.size(); i++) {
+        if (ins.columns[i] == target->dist_column) {
+          dist_pos = static_cast<int>(i);
+        }
+      }
+    }
+    (void)shell;
+    bool dist_aligned =
+        dist_pos >= 0 && dist_pos < static_cast<int>(sel.targets.size());
+    if (dist_aligned) {
+      const ExprPtr& e = sel.targets[static_cast<size_t>(dist_pos)].expr;
+      dist_aligned = AnyDistColRef(*e, source) != nullptr ||
+                     (e->kind == ExprKind::kColumnRef &&
+                      !source.distributed.empty() &&
+                      e->column == source.distributed[0]->dist_column);
+    }
+    if (dist_aligned) {
+      pushdown_count++;
+      if (!ext_->node()->cpu().Consume(ext_->node()->cost().plan_pushdown)) {
+        return Status::Cancelled("simulation stopping");
+      }
+      std::vector<Task> tasks;
+      const CitusTable* rep = source.distributed[0];
+      for (size_t i = 0; i < target->shards.size(); i++) {
+        auto map = ShardGroupTableMap(source, static_cast<int>(i));
+        map[target->name] = target->ShardName(target->shards[i].shard_id);
+        sql::DeparseOptions opts;
+        opts.params = &params;
+        opts.table_map = &map;
+        sql::Statement stmt;
+        stmt.kind = sql::Statement::Kind::kInsert;
+        stmt.insert = std::make_shared<sql::InsertStmt>(ins);
+        Task t;
+        t.index = static_cast<int>(i);
+        t.worker = target->shards[i].placement;
+        t.colocation_id = target->colocation_id;
+        t.shard_group = static_cast<int>(i);
+        t.sql = sql::DeparseStatement(stmt, opts);
+        t.is_write = true;
+        tasks.push_back(std::move(t));
+      }
+      (void)rep;
+      AdaptiveExecutor executor(ext_);
+      CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                              executor.Execute(session, std::move(tasks)));
+      engine::QueryResult out;
+      for (const auto& r : results) out.rows_affected += r.rows_affected;
+      out.command_tag = StrFormat(
+          "INSERT 0 %lld", static_cast<long long>(out.rows_affected));
+      target->approx_rows += out.rows_affected;
+      return out;
+    }
+  }
+
+  // Strategy 3 (also covers strategy 2 here, see DESIGN.md): run the SELECT
+  // as a distributed query, then COPY the result into the target table.
+  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult rows,
+                          ExecuteSelect(session, sel, params, source));
+  std::vector<std::vector<std::string>> text_rows;
+  text_rows.reserve(rows.rows.size());
+  for (const auto& row : rows.rows) {
+    std::vector<std::string> fields;
+    fields.reserve(row.size());
+    for (const auto& d : row) {
+      fields.push_back(d.is_null() ? "\\N" : d.ToText());
+    }
+    text_rows.push_back(std::move(fields));
+  }
+  sql::CopyStmt copy;
+  copy.table = ins.table;
+  copy.columns = ins.columns;
+  CITUSX_ASSIGN_OR_RETURN(
+      std::optional<engine::QueryResult> copied,
+      ProcessDistributedCopy(ext_, session, copy, text_rows));
+  if (!copied.has_value()) {
+    return Status::Internal("distributed COPY did not handle the target");
+  }
+  engine::QueryResult out;
+  out.rows_affected = copied->rows_affected;
+  out.command_tag = StrFormat("INSERT 0 %lld",
+                              static_cast<long long>(out.rows_affected));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Distributed COPY (§3.8)
+// ---------------------------------------------------------------------------
+
+Result<std::optional<engine::QueryResult>> ProcessDistributedCopy(
+    CitusExtension* ext, engine::Session& session, const sql::CopyStmt& stmt,
+    const std::vector<std::vector<std::string>>& rows) {
+  CitusTable* table = ext->metadata().Find(stmt.table);
+  if (table == nullptr) return std::optional<engine::QueryResult>();
+  engine::TableInfo* shell = ext->node()->catalog().Find(stmt.table);
+  if (shell == nullptr) return Status::NotFound("shell table missing");
+  const sql::Schema& schema = shell->schema();
+
+  // The coordinator parses every row on a single backend (one core): this
+  // is the paper's Figure 7(a) bottleneck. Cost scales with bytes.
+  int64_t copy_bytes = 0;
+  for (const auto& row : rows) {
+    for (const auto& f : row) copy_bytes += static_cast<int64_t>(f.size());
+  }
+  if (!ext->node()->cpu().Consume(
+          static_cast<int64_t>(rows.size()) *
+              ext->node()->cost().cpu_per_row_copy_parse +
+          copy_bytes * ext->node()->cost().parse_per_char)) {
+    return Status::Cancelled("simulation stopping");
+  }
+
+  AdaptiveExecutor executor(ext);
+  if (table->is_reference) {
+    std::vector<Task> tasks;
+    int index = 0;
+    for (const auto& node_name : table->replica_nodes) {
+      Task t;
+      t.index = index++;
+      t.worker = node_name;
+      t.is_copy = true;
+      t.is_write = true;
+      t.copy_table = table->ShardName(table->shards[0].shard_id);
+      t.copy_columns = stmt.columns;
+      t.copy_rows = rows;
+      tasks.push_back(std::move(t));
+    }
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, std::move(tasks)));
+    table->approx_rows += static_cast<int64_t>(rows.size());
+    engine::QueryResult out;
+    out.rows_affected = static_cast<int64_t>(rows.size());
+    out.command_tag = StrFormat("COPY %lld",
+                                static_cast<long long>(out.rows_affected));
+    return std::optional<engine::QueryResult>(std::move(out));
+  }
+
+  // Locate the distribution column within the COPY column list.
+  int dist_pos = -1;
+  if (stmt.columns.empty()) {
+    dist_pos = table->dist_col_index;
+  } else {
+    for (size_t i = 0; i < stmt.columns.size(); i++) {
+      if (stmt.columns[i] == table->dist_column) {
+        dist_pos = static_cast<int>(i);
+      }
+    }
+  }
+  if (dist_pos < 0) {
+    return Status::InvalidArgument(
+        "COPY into a distributed table requires the partition column");
+  }
+  sql::TypeId dist_type = schema.columns[static_cast<size_t>(
+      table->dist_col_index)].type;
+  // Partition rows into per-shard batches.
+  std::map<int, std::vector<std::vector<std::string>>> by_shard;
+  for (const auto& row : rows) {
+    if (dist_pos >= static_cast<int>(row.size())) {
+      return Status::InvalidArgument("COPY row is missing fields");
+    }
+    CITUSX_ASSIGN_OR_RETURN(
+        sql::Datum v,
+        sql::Datum::FromText(dist_type, row[static_cast<size_t>(dist_pos)]));
+    int idx = table->ShardIndexForHash(v.PartitionHash());
+    if (idx < 0) return Status::Internal("no shard for hash value");
+    by_shard[idx].push_back(row);
+  }
+  std::vector<Task> tasks;
+  int index = 0;
+  int64_t total = 0;
+  for (auto& [shard_idx, batch] : by_shard) {
+    Task t;
+    t.index = index++;
+    t.worker = table->shards[static_cast<size_t>(shard_idx)].placement;
+    t.colocation_id = table->colocation_id;
+    t.shard_group = shard_idx;
+    t.is_copy = true;
+    t.is_write = true;
+    t.copy_table =
+        table->ShardName(table->shards[static_cast<size_t>(shard_idx)].shard_id);
+    t.copy_columns = stmt.columns;
+    total += static_cast<int64_t>(batch.size());
+    t.copy_rows = std::move(batch);
+    tasks.push_back(std::move(t));
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                          executor.Execute(session, std::move(tasks)));
+  (void)results;
+  table->approx_rows += total;
+  engine::QueryResult out;
+  out.rows_affected = total;
+  out.command_tag = StrFormat("COPY %lld", static_cast<long long>(total));
+  return std::optional<engine::QueryResult>(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Stored-procedure delegation (§3.8)
+// ---------------------------------------------------------------------------
+
+Result<std::optional<engine::QueryResult>> ProcessDelegatedCall(
+    CitusExtension* ext, engine::Session& session, const sql::CallStmt& stmt,
+    const std::vector<sql::Datum>& args) {
+  auto it = ext->metadata().procedures.find(stmt.procedure);
+  if (it == ext->metadata().procedures.end()) {
+    return std::optional<engine::QueryResult>();  // not delegated
+  }
+  if (session.in_explicit_txn()) {
+    // Delegation is skipped inside multi-statement transactions; the
+    // procedure runs on the coordinator with regular distributed statements.
+    return std::optional<engine::QueryResult>();
+  }
+  const DistributedProcedure& proc = it->second;
+  const CitusTable* table = ext->metadata().Find(proc.colocated_table);
+  if (table == nullptr || proc.dist_arg_index >= static_cast<int>(args.size())) {
+    return std::optional<engine::QueryResult>();
+  }
+  CITUSX_ASSIGN_OR_RETURN(
+      sql::Datum v,
+      args[static_cast<size_t>(proc.dist_arg_index)].CastTo(
+          table->dist_col_type));
+  int idx = table->ShardIndexForHash(v.PartitionHash());
+  if (idx < 0) return Status::Internal("no shard for hash value");
+  const std::string& worker =
+      table->shards[static_cast<size_t>(idx)].placement;
+  if (worker == ext->node()->name()) {
+    // Local shard: run the procedure here (no delegation round trip).
+    return std::optional<engine::QueryResult>();
+  }
+  if (!ext->node()->cpu().Consume(ext->node()->cost().plan_fast_path)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  // One round trip: the worker runs the whole procedure (§3.8).
+  sql::Statement call;
+  call.kind = sql::Statement::Kind::kCall;
+  call.call = std::make_shared<sql::CallStmt>(stmt);
+  sql::DeparseOptions opts;
+  std::vector<sql::Datum> no_params;
+  opts.params = &no_params;
+  // Substitute evaluated args as literals.
+  call.call->args.clear();
+  for (const auto& a : args) {
+    call.call->args.push_back(sql::MakeConst(a));
+  }
+  CITUSX_ASSIGN_OR_RETURN(WorkerConnection * wc,
+                          ext->GetConnection(session, worker,
+                                             {table->colocation_id, idx}));
+  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                          wc->conn->Query(sql::DeparseStatement(call, opts)));
+  return std::optional<engine::QueryResult>(std::move(r));
+}
+
+}  // namespace citusx::citus

@@ -1,0 +1,244 @@
+#include "citus/executor.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "sim/channel.h"
+
+namespace citusx::citus {
+
+namespace {
+
+// Shared between the coordinating process, runners, and the ticker; heap
+// allocated so cancellation-order at simulation shutdown cannot dangle.
+struct RunState {
+  engine::Session* session = nullptr;
+  CitusExtension* ext = nullptr;
+  sim::Simulation* sim = nullptr;
+  bool need_txn_block = false;
+  std::vector<engine::QueryResult> owned_results;
+  std::vector<engine::QueryResult>* results = nullptr;
+  Status first_error;
+  std::unique_ptr<sim::Channel<int>> done;
+  bool ticker_active = true;
+
+  // Per-worker task queues.
+  struct WorkerQueue {
+    std::deque<Task*> general;
+    std::map<WorkerConnection*, std::deque<Task*>> assigned;
+    int runners = 0;
+  };
+  std::map<std::string, WorkerQueue> queues;
+};
+
+Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
+  // NOLINTNEXTLINE: task fields moved at most once (each task runs once).
+  if (st.need_txn_block) {
+    CITUSX_RETURN_IF_ERROR(st.ext->EnsureWorkerTxn(*st.session, wc));
+  }
+  if (task.shard_group >= 0) {
+    wc->groups.insert({task.colocation_id, task.shard_group});
+  }
+  if (task.is_write) wc->did_write = true;
+  Result<engine::QueryResult> r =
+      task.is_copy ? wc->conn->CopyIn(task.copy_table, task.copy_columns,
+                                      std::move(task.copy_rows))
+                   : wc->conn->Query(task.sql);
+  if (!r.ok()) return r.status();
+  (*st.results)[static_cast<size_t>(task.index)] = std::move(r).value();
+  return Status::OK();
+}
+
+// A runner drains one connection's assigned queue, then the general queue.
+void RunnerLoop(RunState& st, const std::string& worker,
+                WorkerConnection* wc) {
+  auto& q = st.queues[worker];
+  for (;;) {
+    Task* task = nullptr;
+    auto it = q.assigned.find(wc);
+    if (it != q.assigned.end() && !it->second.empty()) {
+      task = it->second.front();
+      it->second.pop_front();
+    } else if (!q.general.empty()) {
+      task = q.general.front();
+      q.general.pop_front();
+    } else {
+      break;
+    }
+    Status s = ExecOneTask(st, wc, *task);
+    if (!s.ok() && st.first_error.ok()) st.first_error = s;
+    st.done->Send(1);
+  }
+  q.runners--;
+}
+
+}  // namespace
+
+Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
+    engine::Session& session, std::vector<Task> tasks) {
+  std::vector<engine::QueryResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  int writes = 0;
+  for (const auto& t : tasks) writes += t.is_write ? 1 : 0;
+  bool need_txn_block = session.in_explicit_txn() || writes > 1;
+
+  // Single-task fast path: one round trip on the affine/cached connection.
+  if (tasks.size() == 1) {
+    Task& t = tasks[0];
+    CITUSX_ASSIGN_OR_RETURN(
+        WorkerConnection * wc,
+        ext_->GetConnection(session, t.worker,
+                            {t.colocation_id, t.shard_group}));
+    RunState st;
+    st.session = &session;
+    st.ext = ext_;
+    st.need_txn_block = need_txn_block;
+    st.results = &results;
+    CITUSX_RETURN_IF_ERROR(ExecOneTask(st, wc, t));
+    return results;
+  }
+
+  sim::Simulation* sim = ext_->node()->sim();
+  auto stp = std::make_shared<RunState>();
+  RunState& st = *stp;
+  st.session = &session;
+  st.ext = ext_;
+  st.sim = sim;
+  st.need_txn_block = need_txn_block;
+  st.owned_results.resize(tasks.size());
+  st.results = &st.owned_results;  // heap-owned: safe across cancellation
+  st.done = std::make_unique<sim::Channel<int>>(sim);
+  sim::Channel<int>& done = *st.done;
+
+  // Partition tasks: affinity-bound tasks go to their connection's private
+  // queue; the rest to the per-worker general queue.
+  CitusSessionState& css = ext_->SessionState(session);
+  for (auto& t : tasks) {
+    auto& q = st.queues[t.worker];
+    WorkerConnection* affine = nullptr;
+    if (t.shard_group >= 0) {
+      for (auto& wc : css.pool[t.worker]) {
+        if (wc->groups.count({t.colocation_id, t.shard_group}) > 0) {
+          affine = wc.get();
+          break;
+        }
+      }
+    }
+    if (affine != nullptr) {
+      q.assigned[affine].push_back(&t);
+    } else {
+      q.general.push_back(&t);
+    }
+  }
+
+  const auto& cfg = ext_->config();
+  sim::Time start = sim->now();
+  int total = static_cast<int>(tasks.size());
+  int finished = 0;
+
+  auto spawn_runner = [&](const std::string& worker, WorkerConnection* wc) {
+    st.queues[worker].runners++;
+    sim->Spawn(
+        "citus:runner", [stp, worker, wc] { RunnerLoop(*stp, worker, wc); },
+        /*daemon=*/true);
+  };
+
+  // Acquire the initial general-queue connections before spawning any
+  // runner, so an acquisition failure can return before stack state is
+  // shared with running processes.
+  std::vector<std::pair<std::string, WorkerConnection*>> initial;
+  for (auto& [worker, q] : st.queues) {
+    bool has_assigned_runner = false;
+    for (auto& [wc, queue] : q.assigned) {
+      has_assigned_runner = has_assigned_runner || !queue.empty();
+    }
+    if (!q.general.empty() && !has_assigned_runner) {
+      CITUSX_ASSIGN_OR_RETURN(
+          WorkerConnection * wc,
+          ext_->GetConnection(session, worker, {0, -1}));
+      initial.emplace_back(worker, wc);
+    }
+  }
+  // Start one runner per connection with assigned tasks, plus one connection
+  // per worker for the general queue (slow start begins at n=1).
+  for (auto& [worker, q] : st.queues) {
+    for (auto& [wc, queue] : q.assigned) {
+      if (!queue.empty()) spawn_runner(worker, wc);
+    }
+  }
+  for (auto& [worker, wc] : initial) spawn_runner(worker, wc);
+
+  // Ticker: wakes the coordinator loop at slow-start intervals so it can
+  // grow pools even when no task has completed yet.
+  sim::Time tick = cfg.slow_start_interval;
+  sim->Spawn(
+      "citus:slowstart_tick",
+      [stp, sim, tick] {
+        while (stp->ticker_active && sim->WaitFor(tick)) {
+          if (!stp->ticker_active) break;
+          stp->done->Send(0);  // sentinel
+        }
+      },
+      /*daemon=*/true);
+
+  // Grow connection pools toward the current allowance; new connections
+  // are established concurrently (non-blocking connects), each becoming a
+  // runner when ready.
+  auto grow = [&st, stp, &session, this](int allowance) {
+    for (auto& [worker, q] : st.queues) {
+      int pending = static_cast<int>(q.general.size());
+      if (pending == 0) continue;
+      int target = std::min(allowance, q.runners + pending);
+      while (q.runners < target) {
+        q.runners++;  // reserve the slot before the async open
+        std::string w = worker;
+        CitusExtension* ext = ext_;
+        engine::Session* sess = &session;
+        st.sim->Spawn(
+            "citus:opener",
+            [stp, w, ext, sess] {
+              auto extra = ext->TryOpenExtraConnection(*sess, w);
+              if (!extra.ok() || *extra == nullptr) {
+                if (!extra.ok() && stp->first_error.ok()) {
+                  stp->first_error = extra.status();
+                }
+                stp->queues[w].runners--;
+                return;
+              }
+              RunnerLoop(*stp, w, *extra);
+            },
+            /*daemon=*/true);
+      }
+    }
+  };
+  auto allowance_now = [&]() {
+    return cfg.enable_slow_start
+               ? 1 + static_cast<int>(
+                         (sim->now() - start) /
+                         std::max<sim::Time>(cfg.slow_start_interval, 1))
+               : 1 << 20;
+  };
+  grow(allowance_now());  // with slow start disabled, open the pool up front
+
+  while (finished < total) {
+    auto msg = done.Receive();
+    if (!msg.has_value()) {
+      st.ticker_active = false;
+      return Status::Cancelled("simulation stopping");
+    }
+    if (*msg == 1) {
+      finished++;
+      continue;
+    }
+    // Sentinel tick: the allowance for new connections per worker grows by
+    // one per interval (n = n + 1 every 10ms, §3.6.1).
+    grow(allowance_now());
+  }
+  st.ticker_active = false;
+  if (!st.first_error.ok()) return st.first_error;
+  return std::move(st.owned_results);
+}
+
+}  // namespace citusx::citus

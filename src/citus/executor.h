@@ -1,0 +1,46 @@
+// The adaptive executor (paper §3.6.1): executes a distributed plan's tasks
+// over per-worker connection pools with "slow start" connection ramp-up, a
+// shared connection limit, and co-located-shard connection affinity inside
+// transactions.
+#ifndef CITUSX_CITUS_EXECUTOR_H_
+#define CITUSX_CITUS_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "citus/extension.h"
+
+namespace citusx::citus {
+
+/// One unit of work against one worker: a SQL string (already deparsed with
+/// shard names) or a COPY batch.
+struct Task {
+  int index = 0;  // position of the result in the output vector
+  std::string worker;
+  int colocation_id = 0;
+  int shard_group = -1;  // shard index for connection affinity; -1 = none
+  std::string sql;
+  bool is_write = false;
+  bool is_copy = false;
+  std::string copy_table;
+  std::vector<std::string> copy_columns;
+  std::vector<std::vector<std::string>> copy_rows;
+};
+
+class AdaptiveExecutor {
+ public:
+  explicit AdaptiveExecutor(CitusExtension* ext) : ext_(ext) {}
+
+  /// Execute all tasks; results are returned in task-index order. Worker
+  /// transaction blocks are opened when the session is in an explicit
+  /// transaction or when multiple write tasks require atomic commit (2PC).
+  Result<std::vector<engine::QueryResult>> Execute(engine::Session& session,
+                                                   std::vector<Task> tasks);
+
+ private:
+  CitusExtension* ext_;
+};
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_EXECUTOR_H_

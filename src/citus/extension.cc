@@ -1,0 +1,222 @@
+#include "citus/extension.h"
+
+#include <unordered_map>
+
+#include "citus/planner.h"
+
+namespace citusx::citus {
+
+namespace {
+// Node -> extension registry (PostgreSQL would keep this in shared memory).
+std::unordered_map<engine::Node*, CitusExtension*>& Registry() {
+  static auto* kMap = new std::unordered_map<engine::Node*, CitusExtension*>();
+  return *kMap;
+}
+}  // namespace
+
+CitusExtension* GetExtension(engine::Node* node) {
+  auto it = Registry().find(node);
+  return it == Registry().end() ? nullptr : it->second;
+}
+
+void UninstallExtension(engine::Node* node) { Registry().erase(node); }
+
+CitusSessionState::~CitusSessionState() {
+  for (auto& [worker, conns] : pool) {
+    for (auto& wc : conns) {
+      wc->conn->Close();
+      if (extension != nullptr) extension->OnConnectionClosed(worker);
+    }
+  }
+}
+
+CitusExtension::CitusExtension(engine::Node* node,
+                               net::NodeDirectory* directory,
+                               std::shared_ptr<CitusMetadata> metadata,
+                               CitusConfig config)
+    : node_(node),
+      directory_(directory),
+      metadata_(std::move(metadata)),
+      config_(config) {}
+
+CitusExtension* CitusExtension::Install(
+    engine::Node* node, net::NodeDirectory* directory,
+    std::shared_ptr<CitusMetadata> metadata, const CitusConfig& config) {
+  auto* ext = new CitusExtension(node, directory, std::move(metadata), config);
+  Registry()[node] = ext;
+  ext->RegisterHooks();
+  ext->RegisterUdfs();
+  // The commit-records catalog table (pg_dist_transaction). Real MVCC
+  // storage: commit records become visible atomically with local commit.
+  if (node->catalog().Find(kCommitRecordsTable) == nullptr) {
+    sql::Schema schema;
+    schema.columns.push_back(
+        sql::ColumnDef{"gid", sql::TypeId::kText, true, true, ""});
+    // Primary key on gid: recovery lookups and post-commit deletions must
+    // stay O(1) as the commit-record heap accumulates slots.
+    auto created = node->catalog().CreateTable(kCommitRecordsTable, schema,
+                                               {"gid"});
+    (void)created;
+  }
+  ext->StartMaintenanceDaemon();
+  return ext;
+}
+
+void CitusExtension::RegisterHooks() {
+  engine::ExtensionHooks& hooks = node_->hooks();
+  CitusExtension* ext = this;
+  hooks.planner_hook = [ext](engine::Session& session,
+                             const sql::Statement& stmt,
+                             const std::vector<sql::Datum>& params)
+      -> Result<std::optional<engine::QueryResult>> {
+    DistributedPlanner planner(ext);
+    return planner.PlanAndExecute(session, stmt, params);
+  };
+  hooks.utility_hook =
+      [ext](engine::Session& session, const sql::Statement& stmt)
+      -> Result<std::optional<engine::QueryResult>> {
+    return ProcessDistributedUtility(ext, session, stmt);
+  };
+  hooks.copy_hook = [ext](engine::Session& session, const sql::CopyStmt& stmt,
+                          const std::vector<std::vector<std::string>>& rows)
+      -> Result<std::optional<engine::QueryResult>> {
+    return ProcessDistributedCopy(ext, session, stmt, rows);
+  };
+  hooks.call_hook = [ext](engine::Session& session, const sql::CallStmt& stmt,
+                          const std::vector<sql::Datum>& args)
+      -> Result<std::optional<engine::QueryResult>> {
+    return ProcessDelegatedCall(ext, session, stmt, args);
+  };
+  hooks.pre_commit = [ext](engine::Session& session) {
+    return ext->PreCommit(session);
+  };
+  hooks.post_commit = [ext](engine::Session& session) {
+    ext->PostCommit(session);
+  };
+  hooks.post_abort = [ext](engine::Session& session) {
+    ext->PostAbort(session);
+  };
+}
+
+void CitusExtension::StartMaintenanceDaemon() {
+  // The maintenance daemon (§3.1 background workers): distributed deadlock
+  // detection + 2PC recovery.
+  CitusExtension* ext = this;
+  node_->hooks().background_workers.emplace_back(
+      "citus_maintenance", [ext](engine::Node& node) {
+        sim::Simulation* sim = node.sim();
+        sim::Time last_recovery = 0;
+        while (sim->WaitFor(ext->config().deadlock_poll_interval)) {
+          if (node.is_down()) continue;
+          ext->DetectDistributedDeadlocks();
+          if (sim->now() - last_recovery >=
+              ext->config().recovery_poll_interval) {
+            last_recovery = sim->now();
+            auto session = node.OpenSession();
+            auto r = ext->RecoverTwoPhaseCommits(*session);
+            (void)r;
+          }
+        }
+      });
+}
+
+CitusSessionState& CitusExtension::SessionState(engine::Session& session) {
+  if (session.extension_state == nullptr) {
+    auto state = std::make_shared<CitusSessionState>();
+    state->extension = this;
+    session.extension_state = state;
+  }
+  return *static_cast<CitusSessionState*>(session.extension_state.get());
+}
+
+std::string CitusExtension::NextDistTxnId() {
+  return StrFormat("%s_%llu", node_->name().c_str(),
+                   static_cast<unsigned long long>(++dist_txn_counter_));
+}
+
+std::string CitusExtension::MakeGid(const std::string& dist_txn_id, int seq) {
+  return StrFormat("citusx_%s_%d", dist_txn_id.c_str(), seq);
+}
+
+void CitusExtension::OnConnectionClosed(const std::string& worker) {
+  auto it = outgoing_.find(worker);
+  if (it != outgoing_.end() && it->second > 0) it->second--;
+}
+
+Result<WorkerConnection*> CitusExtension::GetConnection(
+    engine::Session& session, const std::string& worker,
+    std::pair<int, int> group, bool prefer_idle_only) {
+  CitusSessionState& state = SessionState(session);
+  auto& conns = state.pool[worker];
+  // Affinity: a connection that already touched this co-located shard group
+  // in the current transaction must be reused (§3.6.1).
+  if (group.second >= 0) {
+    for (auto& wc : conns) {
+      if (wc->groups.count(group) > 0) return wc.get();
+    }
+  }
+  if (!conns.empty()) return conns.front().get();
+  // Open the session's primary connection to this worker.
+  if (outgoing_connections(worker) >= config_.max_shared_pool_size) {
+    return Status::ResourceExhausted(
+        "shared connection pool for " + worker + " is exhausted");
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::unique_ptr<net::Connection> conn,
+                          directory_->Connect(node_, worker));
+  outgoing_[worker]++;
+  auto wc = std::make_unique<WorkerConnection>();
+  wc->conn = std::move(conn);
+  wc->worker = worker;
+  WorkerConnection* ptr = wc.get();
+  conns.push_back(std::move(wc));
+  return ptr;
+}
+
+Result<WorkerConnection*> CitusExtension::TryOpenExtraConnection(
+    engine::Session& session, const std::string& worker) {
+  if (outgoing_connections(worker) >= config_.max_shared_pool_size) {
+    return static_cast<WorkerConnection*>(nullptr);  // limit reached
+  }
+  auto conn = directory_->Connect(node_, worker);
+  if (!conn.ok()) {
+    if (conn.status().code() == StatusCode::kResourceExhausted) {
+      return static_cast<WorkerConnection*>(nullptr);
+    }
+    return conn.status();
+  }
+  outgoing_[worker]++;
+  CitusSessionState& state = SessionState(session);
+  auto wc = std::make_unique<WorkerConnection>();
+  wc->conn = std::move(conn).value();
+  wc->worker = worker;
+  WorkerConnection* ptr = wc.get();
+  state.pool[worker].push_back(std::move(wc));
+  return ptr;
+}
+
+Status CitusExtension::EnsureWorkerTxn(engine::Session& session,
+                                       WorkerConnection* wc) {
+  if (wc->txn_open) return Status::OK();
+  CitusSessionState& state = SessionState(session);
+  if (state.dist_txn_id.empty()) {
+    state.dist_txn_id = NextDistTxnId();
+    MarkDistTxnActive(state.dist_txn_id);
+    // Tag the local transaction for distributed deadlock detection.
+    session.SetVar("citus.distributed_txid", state.dist_txn_id);
+    if (session.txn_open()) {
+      node_->RegisterTxn(session.current_txn(), state.dist_txn_id);
+    }
+  }
+  // One round trip: the id assignment and BEGIN are batched, as the real
+  // extension batches assign_distributed_transaction_id with BEGIN.
+  CITUSX_ASSIGN_OR_RETURN(
+      engine::QueryResult r,
+      wc->conn->QueryBatch({"SET citus.distributed_txid = '" +
+                                state.dist_txn_id + "'",
+                            "BEGIN"}));
+  (void)r;
+  wc->txn_open = true;
+  return Status::OK();
+}
+
+}  // namespace citusx::citus

@@ -1,0 +1,168 @@
+// The Citus extension: installed on a node through the engine's extension
+// hook API (paper §3.1), it adds distributed tables, the four-tier
+// distributed planner, the adaptive executor, 2PC transactions, distributed
+// deadlock detection, the shard rebalancer, and scaled COPY / INSERT..SELECT
+// / DDL.
+#ifndef CITUSX_CITUS_EXTENSION_H_
+#define CITUSX_CITUS_EXTENSION_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "citus/metadata.h"
+#include "engine/node.h"
+#include "engine/session.h"
+#include "net/cluster.h"
+
+namespace citusx::citus {
+
+class CitusExtension;
+
+/// One cached worker connection with its transaction bookkeeping.
+struct WorkerConnection {
+  std::unique_ptr<net::Connection> conn;
+  std::string worker;
+  bool txn_open = false;     // worker-side BEGIN sent
+  bool did_write = false;    // writes in the current transaction
+  std::string prepared_gid;  // set between PREPARE and COMMIT PREPARED
+  /// (colocation_id, shard_index) groups touched in the current transaction;
+  /// subsequent accesses to the same group must reuse this connection.
+  std::set<std::pair<int, int>> groups;
+};
+
+/// Per-session extension state, hung off Session::extension_state.
+struct CitusSessionState {
+  /// Cached connections per worker (kept across transactions).
+  std::map<std::string, std::vector<std::unique_ptr<WorkerConnection>>> pool;
+  /// Distributed transaction id for the open transaction (assigned lazily).
+  std::string dist_txn_id;
+  CitusExtension* extension = nullptr;
+
+  ~CitusSessionState();
+};
+
+struct CitusConfig {
+  bool is_coordinator = false;
+  int shard_count = 32;
+  /// Upper bound on this node's total outgoing connections per worker
+  /// (the shared connection limit of §3.6.1).
+  int max_shared_pool_size = 300;
+  /// Slow-start: new-connection allowance increase interval.
+  sim::Time slow_start_interval = 10 * sim::kMillisecond;
+  /// Disable slow start entirely (ablation).
+  bool enable_slow_start = true;
+  /// Maintenance daemon intervals.
+  sim::Time deadlock_poll_interval = 2 * sim::kSecond;
+  sim::Time recovery_poll_interval = 30 * sim::kSecond;
+};
+
+class CitusExtension {
+ public:
+  /// Install the extension on `node`. `metadata` is shared across the
+  /// cluster (modelling synced metadata); `directory` resolves worker names.
+  /// Registers hooks, UDFs, and the maintenance background worker.
+  static CitusExtension* Install(engine::Node* node,
+                                 net::NodeDirectory* directory,
+                                 std::shared_ptr<CitusMetadata> metadata,
+                                 const CitusConfig& config);
+
+  engine::Node* node() { return node_; }
+  CitusMetadata& metadata() { return *metadata_; }
+  net::NodeDirectory& directory() { return *directory_; }
+  const CitusConfig& config() const { return config_; }
+
+  /// Session state accessor (created lazily).
+  CitusSessionState& SessionState(engine::Session& session);
+
+  /// Connection with affinity: if `group` (colocation, shard index) was
+  /// already accessed in this transaction, returns that connection;
+  /// otherwise returns the least-loaded cached connection, or opens one.
+  /// `allow_new` gates connection establishment (slow start).
+  Result<WorkerConnection*> GetConnection(engine::Session& session,
+                                          const std::string& worker,
+                                          std::pair<int, int> group,
+                                          bool prefer_idle_only = false);
+
+  /// Open an additional connection to `worker` for parallel execution,
+  /// respecting the shared pool limit. Returns nullptr (not an error) when
+  /// the limit is reached.
+  Result<WorkerConnection*> TryOpenExtraConnection(engine::Session& session,
+                                                   const std::string& worker);
+
+  /// Ensure a worker-side transaction block is open on `wc` and the
+  /// distributed transaction id is assigned/propagated.
+  Status EnsureWorkerTxn(engine::Session& session, WorkerConnection* wc);
+
+  /// Total outgoing connections to `worker` from this node.
+  int outgoing_connections(const std::string& worker) const {
+    auto it = outgoing_.find(worker);
+    return it == outgoing_.end() ? 0 : it->second;
+  }
+
+  // ---- wired into session hooks (twophase.cc) ----
+  Status PreCommit(engine::Session& session);
+  void PostCommit(engine::Session& session);
+  void PostAbort(engine::Session& session);
+
+  /// One round of 2PC recovery (also run by the maintenance daemon):
+  /// compares worker prepared transactions against local commit records.
+  /// Returns number of transactions finalized.
+  Result<int> RecoverTwoPhaseCommits(engine::Session& session);
+
+  /// One round of distributed deadlock detection. Returns true if a victim
+  /// was cancelled.
+  bool DetectDistributedDeadlocks();
+
+  /// Statistics.
+  int64_t two_phase_commits = 0;
+  int64_t single_node_commits = 0;
+  int64_t deadlocks_detected = 0;
+  int64_t recovered_txns = 0;
+
+  /// The engine table holding commit records ("pg_dist_transaction").
+  static constexpr const char* kCommitRecordsTable = "pg_dist_transaction";
+
+  /// Generate a distributed transaction id / 2PC gid.
+  std::string NextDistTxnId();
+  std::string MakeGid(const std::string& dist_txn_id, int seq);
+
+  /// Release per-session connection accounting when a session dies.
+  void OnConnectionClosed(const std::string& worker);
+
+ private:
+  friend struct CitusSessionState;
+  CitusExtension(engine::Node* node, net::NodeDirectory* directory,
+                 std::shared_ptr<CitusMetadata> metadata, CitusConfig config);
+
+  void RegisterHooks();
+  void RegisterUdfs();  // udf.cc
+  void StartMaintenanceDaemon();
+
+  engine::Node* node_;
+  net::NodeDirectory* directory_;
+  std::shared_ptr<CitusMetadata> metadata_;
+  CitusConfig config_;
+  std::map<std::string, int> outgoing_;  // shared connection counters
+  uint64_t dist_txn_counter_ = 0;
+  /// Distributed transactions this node initiated that are still in flight;
+  /// 2PC recovery must not touch their prepared transactions.
+  std::set<std::string> active_dist_txns_;
+
+ public:
+  void MarkDistTxnActive(const std::string& id) {
+    active_dist_txns_.insert(id);
+  }
+  void MarkDistTxnEnded(const std::string& id) { active_dist_txns_.erase(id); }
+  bool IsDistTxnActive(const std::string& id) const {
+    return active_dist_txns_.count(id) > 0;
+  }
+};
+
+/// Extension lookup for a node (set at Install).
+CitusExtension* GetExtension(engine::Node* node);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_EXTENSION_H_

@@ -1,0 +1,148 @@
+// Citus metadata: distributed tables, shards, placements, co-location
+// groups, and procedure-delegation records.
+//
+// The real extension stores these in catalog tables (pg_dist_partition,
+// pg_dist_shard, pg_dist_placement, ...) replicated to workers when metadata
+// syncing is enabled. Here the metadata object is shared by every node's
+// extension instance, which models a fully synced cluster (every node can
+// coordinate, §3.2.1). Commit records (pg_dist_transaction) are the
+// exception: they must commit atomically with the local transaction, so they
+// live in a real engine table per node (see twophase.cc).
+#ifndef CITUSX_CITUS_METADATA_H_
+#define CITUSX_CITUS_METADATA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/str.h"
+#include "sql/types.h"
+
+namespace citusx::citus {
+
+/// One shard of a distributed table: a contiguous range of the int32 hash
+/// space, placed on one worker (reference tables: full range, all workers).
+struct ShardInterval {
+  uint64_t shard_id = 0;
+  int32_t min_hash = 0;
+  int32_t max_hash = 0;
+  std::string placement;  // worker node name
+};
+
+struct CitusTable {
+  std::string name;
+  bool is_reference = false;
+  std::string dist_column;       // empty for reference tables
+  int dist_col_index = -1;
+  sql::TypeId dist_col_type = sql::TypeId::kNull;
+  int colocation_id = 0;         // 0 for reference tables
+  bool columnar_shards = false;
+  std::vector<ShardInterval> shards;  // sorted by min_hash
+  /// Worker nodes holding a replica (reference tables only).
+  std::vector<std::string> replica_nodes;
+  /// DDL applied after creation (indexes), replayed when creating new
+  /// placements during shard moves.
+  std::vector<std::string> post_ddl;
+  /// Rough statistics maintained by the extension (row count), used by the
+  /// join-order planner to pick broadcast vs repartition.
+  int64_t approx_rows = 0;
+  int64_t approx_bytes = 0;
+
+  std::string ShardName(uint64_t shard_id) const {
+    return StrFormat("%s_%llu", name.c_str(),
+                     static_cast<unsigned long long>(shard_id));
+  }
+
+  /// Index of the shard covering `hash`, or -1.
+  int ShardIndexForHash(int32_t hash) const {
+    for (size_t i = 0; i < shards.size(); i++) {
+      if (hash >= shards[i].min_hash && hash <= shards[i].max_hash) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+/// A stored procedure registered for worker delegation (§3.8).
+struct DistributedProcedure {
+  std::string name;
+  int dist_arg_index = 0;           // which CALL argument is the dist key
+  std::string colocated_table;      // placement follows this table's shards
+};
+
+class CitusMetadata {
+ public:
+  int default_shard_count = 32;
+
+  CitusTable* Find(const std::string& name) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  const CitusTable* Find(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+  Result<CitusTable*> Get(const std::string& name) {
+    CitusTable* t = Find(name);
+    if (t == nullptr) {
+      return Status::NotFound("not a distributed table: " + name);
+    }
+    return t;
+  }
+
+  CitusTable* Add(CitusTable table) {
+    return &(tables_[table.name] = std::move(table));
+  }
+
+  void Remove(const std::string& name) { tables_.erase(name); }
+
+  const std::map<std::string, CitusTable>& tables() const { return tables_; }
+  std::map<std::string, CitusTable>& mutable_tables() { return tables_; }
+
+  /// Worker node names (round-robin shard placement order).
+  std::vector<std::string> workers;
+
+  uint64_t NextShardId() { return next_shard_id_++; }
+  int NextColocationId() { return next_colocation_id_++; }
+
+  /// All tables in a co-location group.
+  std::vector<CitusTable*> ColocatedTables(int colocation_id) {
+    std::vector<CitusTable*> out;
+    for (auto& [name, t] : tables_) {
+      if (!t.is_reference && t.colocation_id == colocation_id) {
+        out.push_back(&t);
+      }
+    }
+    return out;
+  }
+
+  /// Find an existing co-location group compatible with (type, shard count),
+  /// for implicit co-location. Returns 0 if none.
+  int FindCompatibleColocation(sql::TypeId type, int shard_count) const {
+    for (const auto& [name, t] : tables_) {
+      if (!t.is_reference && t.dist_col_type == type &&
+          static_cast<int>(t.shards.size()) == shard_count) {
+        return t.colocation_id;
+      }
+    }
+    return 0;
+  }
+
+  std::map<std::string, DistributedProcedure> procedures;
+
+ private:
+  std::map<std::string, CitusTable> tables_;
+  uint64_t next_shard_id_ = 102008;
+  int next_colocation_id_ = 1;
+};
+
+/// Evenly divide the int32 hash space into `count` intervals.
+std::vector<std::pair<int32_t, int32_t>> MakeHashIntervals(int count);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_METADATA_H_

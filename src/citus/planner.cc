@@ -1,0 +1,1026 @@
+#include "citus/planner.h"
+
+#include <algorithm>
+
+#include "engine/planner.h"
+#include "sql/deparser.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+
+namespace citusx::citus {
+
+int64_t DistributedPlanner::fast_path_count = 0;
+int64_t DistributedPlanner::router_count = 0;
+int64_t DistributedPlanner::pushdown_count = 0;
+int64_t DistributedPlanner::join_order_count = 0;
+
+namespace {
+
+using sql::BinOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectStmt;
+
+constexpr const char* kIntermediateName = "citusx_intermediate";
+
+void CollectTableRefs(const sql::TableRef& ref,
+                      const CitusMetadata& metadata, TableAnalysis* out) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kTable: {
+      const CitusTable* t = metadata.Find(ref.name);
+      std::string alias = ref.alias.empty() ? ref.name : ref.alias;
+      if (t == nullptr) {
+        out->local.push_back(ref.name);
+      } else {
+        out->alias_map[alias] = t;
+        auto& vec = t->is_reference ? out->reference : out->distributed;
+        bool present = false;
+        for (const auto* existing : vec) present |= existing == t;
+        if (!present) vec.push_back(t);
+      }
+      return;
+    }
+    case sql::TableRef::Kind::kSubquery: {
+      for (const auto& f : ref.subquery->from) {
+        CollectTableRefs(*f, metadata, out);
+      }
+      return;
+    }
+    case sql::TableRef::Kind::kJoin:
+      CollectTableRefs(*ref.left, metadata, out);
+      CollectTableRefs(*ref.right, metadata, out);
+      return;
+  }
+}
+
+}  // namespace
+
+TableAnalysis AnalyzeSelectTables(const CitusMetadata& metadata,
+                                  const sql::SelectStmt& sel) {
+  TableAnalysis out;
+  for (const auto& f : sel.from) CollectTableRefs(*f, metadata, &out);
+  return out;
+}
+
+TableAnalysis AnalyzeTables(const CitusMetadata& metadata,
+                            const sql::Statement& stmt) {
+  TableAnalysis out;
+  auto add_table = [&](const std::string& name) {
+    const CitusTable* t = metadata.Find(name);
+    if (t == nullptr) {
+      out.local.push_back(name);
+      return;
+    }
+    out.alias_map[name] = t;
+    auto& vec = t->is_reference ? out.reference : out.distributed;
+    bool present = false;
+    for (const auto* existing : vec) present |= existing == t;
+    if (!present) vec.push_back(t);
+  };
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      return AnalyzeSelectTables(metadata, *stmt.select);
+    case sql::Statement::Kind::kInsert:
+      add_table(stmt.insert->table);
+      if (stmt.insert->select != nullptr) {
+        TableAnalysis sub = AnalyzeSelectTables(metadata, *stmt.insert->select);
+        for (const auto* t : sub.distributed) {
+          bool present = false;
+          for (const auto* e : out.distributed) present |= e == t;
+          if (!present) out.distributed.push_back(t);
+        }
+        for (const auto* t : sub.reference) out.reference.push_back(t);
+        for (const auto& l : sub.local) out.local.push_back(l);
+        for (const auto& [a, t] : sub.alias_map) out.alias_map[a] = t;
+      }
+      return out;
+    case sql::Statement::Kind::kUpdate:
+      add_table(stmt.update->table);
+      return out;
+    case sql::Statement::Kind::kDelete:
+      add_table(stmt.del->table);
+      return out;
+    default:
+      return out;
+  }
+}
+
+std::map<std::string, std::string> ShardGroupTableMap(
+    const TableAnalysis& analysis, int shard_index) {
+  std::map<std::string, std::string> map;
+  for (const auto* t : analysis.distributed) {
+    map[t->name] =
+        t->ShardName(t->shards[static_cast<size_t>(shard_index)].shard_id);
+  }
+  for (const auto* t : analysis.reference) {
+    map[t->name] = t->ShardName(t->shards[0].shard_id);
+  }
+  return map;
+}
+
+void CollectConjuncts(const sql::SelectStmt& sel,
+                      std::vector<sql::ExprPtr>* out) {
+  engine::SplitConjuncts(sel.where, out);
+  std::function<void(const sql::TableRef&)> walk =
+      [&](const sql::TableRef& ref) {
+        if (ref.kind == sql::TableRef::Kind::kJoin) {
+          engine::SplitConjuncts(ref.on, out);
+          walk(*ref.left);
+          walk(*ref.right);
+        }
+      };
+  for (const auto& f : sel.from) walk(*f);
+}
+
+namespace {
+
+// True if `e` is a column reference to `table`'s distribution column
+// (qualifier resolved through the analysis alias map).
+bool IsDistColRef(const Expr& e, const CitusTable& table,
+                  const TableAnalysis& analysis) {
+  if (e.kind != ExprKind::kColumnRef) return false;
+  if (e.column != table.dist_column) return false;
+  if (e.table.empty()) {
+    // Unqualified: accept only if no *other* dist table shares the name.
+    for (const auto* t : analysis.distributed) {
+      if (t != &table && t->dist_column == e.column) return false;
+    }
+    return true;
+  }
+  auto it = analysis.alias_map.find(e.table);
+  return it != analysis.alias_map.end() && it->second == &table;
+}
+
+bool ExprIsConstOrParam(const ExprPtr& e) {
+  bool pure = true;
+  sql::WalkExpr(e, [&](const Expr& x) {
+    if (x.kind == ExprKind::kColumnRef || x.kind == ExprKind::kAgg ||
+        x.kind == ExprKind::kStar ||
+        (x.kind == ExprKind::kFunc && x.func_name == "random")) {
+      pure = false;
+    }
+  });
+  return pure;
+}
+
+}  // namespace
+
+const CitusTable* AnyDistColRef(const sql::Expr& e,
+                                const TableAnalysis& analysis) {
+  for (const auto* t : analysis.distributed) {
+    if (IsDistColRef(e, *t, analysis)) return t;
+  }
+  return nullptr;
+}
+
+std::optional<sql::Datum> FindDistColRestriction(
+    const sql::SelectStmt& sel, const CitusTable& table,
+    const TableAnalysis& analysis, const std::vector<sql::Datum>& params) {
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(sel, &conjuncts);
+  for (const auto& c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    ExprPtr col = c->args[0], val = c->args[1];
+    if (!IsDistColRef(*col, table, analysis)) std::swap(col, val);
+    if (!IsDistColRef(*col, table, analysis)) continue;
+    if (!ExprIsConstOrParam(val)) continue;
+    sql::EvalContext ec;
+    ec.params = &params;
+    auto v = sql::Eval(*val, ec);
+    if (!v.ok() || v->is_null()) continue;
+    return *v;
+  }
+  return std::nullopt;
+}
+
+// Transitive distribution-column restrictions: conjuncts `a.dc = b.dc`
+// merge equivalence classes; `dc = const` pins a class to a value. Returns
+// the restriction value per dist table (all or nothing per table).
+std::map<const CitusTable*, sql::Datum> ComputeDistRestrictions(
+    const sql::SelectStmt& sel, const TableAnalysis& analysis,
+    const std::vector<sql::Datum>& params) {
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(sel, &conjuncts);
+  std::map<const CitusTable*, const CitusTable*> parent;
+  for (const auto* t : analysis.distributed) parent[t] = t;
+  std::function<const CitusTable*(const CitusTable*)> find =
+      [&](const CitusTable* t) {
+        while (parent[t] != t) t = parent[t] = parent[parent[t]];
+        return t;
+      };
+  std::map<const CitusTable*, sql::Datum> class_value;
+  auto assign = [&](const CitusTable* t, const sql::Datum& v) {
+    const CitusTable* root = find(t);
+    if (class_value.find(root) == class_value.end()) class_value[root] = v;
+  };
+  // First pass: unions; second pass: constants (order-independent result
+  // requires two passes so unions come first).
+  for (const auto& c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    const CitusTable* a = AnyDistColRef(*c->args[0], analysis);
+    const CitusTable* b = AnyDistColRef(*c->args[1], analysis);
+    if (a != nullptr && b != nullptr && a != b) parent[find(a)] = find(b);
+  }
+  for (const auto& c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    ExprPtr col = c->args[0], val = c->args[1];
+    const CitusTable* t = AnyDistColRef(*col, analysis);
+    if (t == nullptr) {
+      std::swap(col, val);
+      t = AnyDistColRef(*col, analysis);
+    }
+    if (t == nullptr || !ExprIsConstOrParam(val)) continue;
+    sql::EvalContext ec;
+    ec.params = &params;
+    auto v = sql::Eval(*val, ec);
+    if (v.ok() && !v->is_null()) assign(t, *v);
+  }
+  std::map<const CitusTable*, sql::Datum> out;
+  for (const auto* t : analysis.distributed) {
+    auto it = class_value.find(find(t));
+    if (it != class_value.end()) out[t] = it->second;
+  }
+  return out;
+}
+
+Result<engine::QueryResult> RunMasterQuery(
+    engine::Session& session, const sql::SelectStmt& master,
+    const std::string& temp_name, const engine::TempRelation& temp,
+    const std::vector<sql::Datum>& params) {
+  std::map<std::string, const engine::TempRelation*> temps = {
+      {temp_name, &temp}};
+  engine::PlannerInput input;
+  input.catalog = &session.node()->catalog();
+  input.temp_relations = &temps;
+  input.params = &params;
+  engine::ExecContext ctx = session.MakeExecContext(&params);
+  return engine::ExecuteSelect(master, input, ctx);
+}
+
+Result<std::vector<std::string>> ShardCreationDdl(engine::Node* node,
+                                                  const CitusTable& table,
+                                                  uint64_t shard_id) {
+  engine::TableInfo* info = node->catalog().Find(table.name);
+  if (info == nullptr) {
+    return Status::NotFound("shell table missing: " + table.name);
+  }
+  sql::Statement create;
+  create.kind = sql::Statement::Kind::kCreateTable;
+  create.create_table = std::make_shared<sql::CreateTableStmt>();
+  create.create_table->table = table.name;
+  create.create_table->schema = info->schema();
+  if (table.columnar_shards) {
+    // Columnar shards (no primary-key index support, like Citus columnar).
+    create.create_table->access_method = "columnar";
+  } else {
+    create.create_table->primary_key = info->primary_key;
+  }
+  std::map<std::string, std::string> map = {
+      {table.name, table.ShardName(shard_id)}};
+  sql::DeparseOptions opts;
+  opts.table_map = &map;
+  std::vector<std::string> ddl;
+  ddl.push_back(sql::DeparseStatement(create, opts));
+  for (const auto& post : table.post_ddl) {
+    auto parsed = sql::Parse(post);
+    if (!parsed.ok()) continue;
+    // Index names must be unique per shard: rewrite them too.
+    std::map<std::string, std::string> post_map = map;
+    if (parsed->kind == sql::Statement::Kind::kCreateIndex) {
+      post_map[parsed->create_index->index] =
+          parsed->create_index->index + "_" + std::to_string(shard_id);
+    }
+    sql::DeparseOptions post_opts;
+    post_opts.table_map = &post_map;
+    ddl.push_back(sql::DeparseStatement(*parsed, post_opts));
+  }
+  return ddl;
+}
+
+// ---------------------------------------------------------------------------
+// SELECT planning
+// ---------------------------------------------------------------------------
+
+// Can this select run entirely on each shard group without a merge step
+// beyond concatenation? True when it has no aggregates/grouping, or when the
+// GROUP BY includes a distribution column (§3.5 logical pushdown; the
+// VeniceDB pattern from §5). Checked recursively for FROM subqueries.
+bool SubqueryPushdownSafe(const SelectStmt& sel, const CitusMetadata& metadata,
+                          std::string* reason) {
+  TableAnalysis analysis = AnalyzeSelectTables(metadata, sel);
+  if (analysis.distributed.empty()) return true;  // reference/local only
+  bool has_agg = !sel.group_by.empty() || sel.having != nullptr;
+  for (const auto& t : sel.targets) has_agg |= sql::ContainsAggregate(t.expr);
+  if (has_agg) {
+    bool group_has_dist = false;
+    for (const auto& g : sel.group_by) {
+      // Positional GROUP BY resolves through the target list.
+      ExprPtr expr = g;
+      if (g->kind == ExprKind::kConst && sql::IsIntegral(g->value.type())) {
+        int pos = static_cast<int>(g->value.int_value());
+        if (pos >= 1 && pos <= static_cast<int>(sel.targets.size())) {
+          expr = sel.targets[static_cast<size_t>(pos - 1)].expr;
+        }
+      }
+      group_has_dist |= AnyDistColRef(*expr, analysis) != nullptr;
+    }
+    if (!group_has_dist) {
+      *reason = "subquery requires a merge step (GROUP BY without the "
+                "distribution column)";
+      return false;
+    }
+  }
+  if (sel.limit != nullptr || sel.offset != nullptr) {
+    *reason = "LIMIT in a subquery cannot be pushed down";
+    return false;
+  }
+  for (const auto& f : sel.from) {
+    if (f->kind == sql::TableRef::Kind::kSubquery &&
+        !SubqueryPushdownSafe(*f->subquery, metadata, reason)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// All distributed tables must be joined on their distribution columns
+// (connected via equality conjuncts) and share a co-location group.
+bool CheckColocatedJoins(const SelectStmt& sel, const TableAnalysis& analysis,
+                         const CitusMetadata& metadata, std::string* reason) {
+  if (analysis.distributed.size() <= 1) {
+    // Single dist table at the top level; subqueries checked separately.
+    return true;
+  }
+  int colocation = analysis.distributed[0]->colocation_id;
+  for (const auto* t : analysis.distributed) {
+    if (t->colocation_id != colocation) {
+      *reason = "tables are not co-located";
+      return false;
+    }
+  }
+  // Union-find over dist tables connected by dist-col equality conjuncts.
+  std::map<const CitusTable*, const CitusTable*> parent;
+  for (const auto* t : analysis.distributed) parent[t] = t;
+  std::function<const CitusTable*(const CitusTable*)> find =
+      [&](const CitusTable* t) {
+        while (parent[t] != t) t = parent[t] = parent[parent[t]];
+        return t;
+      };
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(sel, &conjuncts);
+  // Also consider conjuncts inside FROM subqueries joined at this level?
+  // (Handled by requiring subquery safety separately.)
+  for (const auto& c : conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->bin_op != BinOp::kEq) continue;
+    const CitusTable* a = AnyDistColRef(*c->args[0], analysis);
+    const CitusTable* b = AnyDistColRef(*c->args[1], analysis);
+    if (a != nullptr && b != nullptr && a != b) parent[find(a)] = find(b);
+  }
+  const CitusTable* root = find(analysis.distributed[0]);
+  for (const auto* t : analysis.distributed) {
+    if (find(t) != root) {
+      *reason = "tables are not joined on their distribution columns";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Partial-aggregate splitting for the pushdown planner: rewrites a cloned
+// top-level select into (worker query, master query).
+struct AggSplit {
+  SelectStmt worker;  // targets: group exprs g0.. then partials p0..
+  SelectStmt master;  // over kIntermediateName
+  std::vector<std::string> final_names;
+  Status error;
+  bool ok = false;
+};
+
+ExprPtr IntermediateCol(int i) {
+  return sql::MakeColumnRef("", StrFormat("c%d", i));
+}
+
+// Build the master-side merge expression for one aggregate call over
+// intermediate columns starting at `col`. Returns number of columns used.
+int BuildMergeAgg(const Expr& agg, int col, ExprPtr* out) {
+  const std::string& f = agg.func_name;
+  if (f == "count") {
+    *out = sql::MakeAgg("sum", {IntermediateCol(col)});
+    // Empty input: sum over no rows is NULL but count must be 0.
+    *out = sql::MakeFunc("coalesce",
+                         {*out, sql::MakeConst(sql::Datum::Int8(0))});
+    return 1;
+  }
+  if (f == "sum" || f == "min" || f == "max") {
+    *out = sql::MakeAgg(f, {IntermediateCol(col)});
+    return 1;
+  }
+  if (f == "avg") {
+    // avg = sum(partial_sums) / sum(partial_counts), NULL when count = 0.
+    ExprPtr total = sql::MakeAgg("sum", {IntermediateCol(col)});
+    ExprPtr count = sql::MakeAgg("sum", {IntermediateCol(col + 1)});
+    ExprPtr cond = sql::MakeBinary(
+        BinOp::kGt,
+        sql::MakeFunc("coalesce",
+                      {count->Clone(), sql::MakeConst(sql::Datum::Int8(0))}),
+        sql::MakeConst(sql::Datum::Int8(0)));
+    auto div = sql::MakeBinary(
+        BinOp::kDiv, sql::MakeCast(std::move(total), sql::TypeId::kFloat8),
+        std::move(count));
+    auto c = std::make_shared<Expr>();
+    c->kind = ExprKind::kCase;
+    c->case_has_else = false;
+    c->args = {std::move(cond), std::move(div)};
+    *out = std::move(c);
+    return 2;
+  }
+  *out = nullptr;
+  return 0;
+}
+
+// Rewrite an expression for the master query: group-expr subtrees become
+// intermediate column refs, aggregate calls become merge aggregates.
+Status RewriteForMaster(ExprPtr& e, const std::vector<std::string>& group_repr,
+                        const std::vector<std::string>& agg_repr,
+                        const std::vector<int>& agg_first_col,
+                        const std::vector<ExprPtr>& agg_originals) {
+  if (e == nullptr) return Status::OK();
+  std::string repr = sql::DeparseExpr(*e);
+  for (size_t i = 0; i < group_repr.size(); i++) {
+    if (repr == group_repr[i]) {
+      e = IntermediateCol(static_cast<int>(i));
+      return Status::OK();
+    }
+  }
+  if (e->kind == ExprKind::kAgg) {
+    for (size_t i = 0; i < agg_repr.size(); i++) {
+      if (repr == agg_repr[i]) {
+        ExprPtr merged;
+        BuildMergeAgg(*agg_originals[i], agg_first_col[i], &merged);
+        if (merged == nullptr) {
+          return Status::NotSupported("cannot merge aggregate " +
+                                      e->func_name);
+        }
+        e = std::move(merged);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("aggregate not collected: " + repr);
+  }
+  if (e->kind == ExprKind::kColumnRef) {
+    return Status::NotSupported(
+        "column must appear in GROUP BY for distributed aggregation: " +
+        e->column);
+  }
+  for (auto& a : e->args) {
+    CITUSX_RETURN_IF_ERROR(RewriteForMaster(a, group_repr, agg_repr,
+                                            agg_first_col, agg_originals));
+  }
+  return Status::OK();
+}
+
+void CollectAggCalls(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kAgg) {
+    std::string repr = sql::DeparseExpr(*e);
+    for (const auto& existing : *out) {
+      if (sql::DeparseExpr(*existing) == repr) return;
+    }
+    out->push_back(e);
+    return;
+  }
+  for (const auto& a : e->args) CollectAggCalls(a, out);
+}
+
+Result<AggSplit> SplitAggregates(const SelectStmt& original) {
+  AggSplit split;
+  SelectStmt sel = *original.Clone();
+  // Resolve positional GROUP BY first.
+  std::vector<ExprPtr> groups;
+  for (const auto& g : sel.group_by) {
+    ExprPtr expr = g;
+    if (g->kind == ExprKind::kConst && sql::IsIntegral(g->value.type())) {
+      int pos = static_cast<int>(g->value.int_value());
+      if (pos < 1 || pos > static_cast<int>(sel.targets.size())) {
+        return Status::InvalidArgument("GROUP BY position out of range");
+      }
+      expr = sel.targets[static_cast<size_t>(pos - 1)].expr->Clone();
+    }
+    groups.push_back(expr);
+  }
+  // Collect distinct aggregate calls from targets, having, order by.
+  std::vector<ExprPtr> aggs;
+  for (const auto& t : sel.targets) CollectAggCalls(t.expr, &aggs);
+  CollectAggCalls(sel.having, &aggs);
+  for (const auto& o : sel.order_by) CollectAggCalls(o.expr, &aggs);
+  for (const auto& a : aggs) {
+    if (a->agg_distinct) {
+      return Status::NotSupported(
+          "DISTINCT aggregates require grouping by the distribution column");
+    }
+  }
+  if (original.distinct) {
+    return Status::NotSupported(
+        "SELECT DISTINCT with distributed aggregation is not supported");
+  }
+  // Worker query: SELECT g0..gk, partials FROM <same> GROUP BY g0..gk.
+  split.worker.from = sel.from;
+  split.worker.where = sel.where;
+  split.worker.group_by = groups;
+  std::vector<std::string> group_repr;
+  for (size_t i = 0; i < groups.size(); i++) {
+    split.worker.targets.push_back(
+        sql::SelectItem{groups[i]->Clone(), StrFormat("g%zu", i)});
+    group_repr.push_back(sql::DeparseExpr(*groups[i]));
+  }
+  std::vector<std::string> agg_repr;
+  std::vector<int> agg_first_col;
+  int next_col = static_cast<int>(groups.size());
+  for (const auto& a : aggs) {
+    agg_repr.push_back(sql::DeparseExpr(*a));
+    agg_first_col.push_back(next_col);
+    if (a->func_name == "avg") {
+      // Partial: sum(x), count(x).
+      split.worker.targets.push_back(sql::SelectItem{
+          sql::MakeAgg("sum", {a->args[0]->Clone()}), StrFormat("p%d", next_col)});
+      split.worker.targets.push_back(sql::SelectItem{
+          sql::MakeAgg("count", {a->args[0]->Clone()}),
+          StrFormat("p%d", next_col + 1)});
+      next_col += 2;
+    } else {
+      split.worker.targets.push_back(
+          sql::SelectItem{a->Clone(), StrFormat("p%d", next_col)});
+      next_col += 1;
+    }
+  }
+  // Master query over the intermediate relation.
+  split.master.from.push_back(std::make_shared<sql::TableRef>());
+  split.master.from[0]->kind = sql::TableRef::Kind::kTable;
+  split.master.from[0]->name = kIntermediateName;
+  for (size_t i = 0; i < sel.targets.size(); i++) {
+    ExprPtr expr = sel.targets[i].expr;  // already cloned
+    CITUSX_RETURN_IF_ERROR(
+        RewriteForMaster(expr, group_repr, agg_repr, agg_first_col, aggs));
+    std::string name = sel.targets[i].alias;
+    split.master.targets.push_back(sql::SelectItem{expr, name});
+    split.final_names.push_back(name);
+  }
+  for (size_t i = 0; i < groups.size(); i++) {
+    split.master.group_by.push_back(IntermediateCol(static_cast<int>(i)));
+  }
+  if (sel.having != nullptr) {
+    ExprPtr having = sel.having;
+    CITUSX_RETURN_IF_ERROR(
+        RewriteForMaster(having, group_repr, agg_repr, agg_first_col, aggs));
+    split.master.having = having;
+  }
+  for (const auto& o : sel.order_by) {
+    sql::OrderByItem item;
+    item.desc = o.desc;
+    item.expr = o.expr;
+    bool positional = item.expr->kind == ExprKind::kConst &&
+                      sql::IsIntegral(item.expr->value.type());
+    if (!positional) {
+      // Resolve target-alias / target-expression references to positions
+      // (ORDER BY revenue where revenue is an output alias).
+      for (size_t i = 0; i < sel.targets.size(); i++) {
+        const auto& t = sel.targets[i];
+        bool alias_match = !t.alias.empty() &&
+                           item.expr->kind == ExprKind::kColumnRef &&
+                           item.expr->table.empty() &&
+                           item.expr->column == t.alias;
+        if (alias_match || engine::ExprEquals(item.expr, t.expr)) {
+          item.expr =
+              sql::MakeConst(sql::Datum::Int8(static_cast<int64_t>(i) + 1));
+          positional = true;
+          break;
+        }
+      }
+    }
+    if (!positional) {
+      CITUSX_RETURN_IF_ERROR(RewriteForMaster(item.expr, group_repr, agg_repr,
+                                              agg_first_col, aggs));
+    }
+    split.master.order_by.push_back(item);
+  }
+  split.master.limit = sel.limit;
+  split.master.offset = sel.offset;
+  split.ok = true;
+  return split;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DistributedPlanner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Distributed EXPLAIN: describe the chosen tier and its tasks without
+// executing anything.
+Result<engine::QueryResult> ExplainDistributed(
+    CitusExtension* ext, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  std::vector<std::string> lines;
+  auto add = [&](const std::string& s) { lines.push_back(s); };
+  sql::DeparseOptions opts;
+  opts.params = &params;
+  if (stmt.kind == sql::Statement::Kind::kSelect) {
+    const sql::SelectStmt& sel = *stmt.select;
+    auto restrictions = ComputeDistRestrictions(sel, analysis, params);
+    bool routable = !analysis.distributed.empty();
+    int shard_index = -1;
+    for (const auto* t : analysis.distributed) {
+      auto it = restrictions.find(t);
+      if (it == restrictions.end()) {
+        routable = false;
+        break;
+      }
+      auto coerced = it->second.CastTo(t->dist_col_type);
+      int idx = coerced.ok()
+                    ? t->ShardIndexForHash(coerced->PartitionHash())
+                    : -1;
+      if (idx < 0 || (shard_index >= 0 && idx != shard_index)) routable = false;
+      shard_index = idx;
+    }
+    if (analysis.distributed.empty()) {
+      add("Custom Scan (Citus Router)  Task Count: 1 (reference tables only)");
+    } else if (routable) {
+      bool fast = analysis.distributed.size() == 1 &&
+                  analysis.reference.empty() && sel.from.size() == 1 &&
+                  sel.group_by.empty();
+      auto map = ShardGroupTableMap(analysis, shard_index);
+      opts.table_map = &map;
+      add(StrFormat("Custom Scan (Citus %s)  Task Count: 1",
+                    fast ? "Fast Path Router" : "Router"));
+      add("  Task: " + sql::DeparseSelect(sel, opts));
+      add("  Placement: " +
+          analysis.distributed[0]
+              ->shards[static_cast<size_t>(shard_index)]
+              .placement);
+    } else {
+      std::string reason;
+      bool colocated =
+          CheckColocatedJoins(sel, analysis, ext->metadata(), &reason);
+      bool subqueries_safe = true;
+      for (const auto& f : sel.from) {
+        if (f->kind == sql::TableRef::Kind::kSubquery) {
+          subqueries_safe &=
+              SubqueryPushdownSafe(*f->subquery, ext->metadata(), &reason);
+        }
+      }
+      if (colocated && subqueries_safe && !analysis.distributed.empty()) {
+        const CitusTable* rep = analysis.distributed[0];
+        auto map = ShardGroupTableMap(analysis, 0);
+        opts.table_map = &map;
+        add(StrFormat("Custom Scan (Citus Adaptive)  Task Count: %zu",
+                      rep->shards.size()));
+        add("  Sample Task: " + sql::DeparseSelect(sel, opts));
+      } else {
+        add("Custom Scan (Citus Adaptive)  via logical join-order planner "
+            "(repartition/broadcast)");
+      }
+    }
+  } else {
+    const std::string& table_name =
+        stmt.kind == sql::Statement::Kind::kInsert   ? stmt.insert->table
+        : stmt.kind == sql::Statement::Kind::kUpdate ? stmt.update->table
+                                                     : stmt.del->table;
+    const CitusTable* t = ext->metadata().Find(table_name);
+    if (t != nullptr && t->is_reference) {
+      add(StrFormat("Custom Scan (Citus Router)  Task Count: %zu (all "
+                    "replicas)",
+                    t->replica_nodes.size()));
+    } else if (t != nullptr) {
+      add(StrFormat("Custom Scan (Citus Adaptive)  Modify on %s (up to %zu "
+                    "shard tasks)",
+                    table_name.c_str(), t->shards.size()));
+    }
+  }
+  engine::QueryResult out;
+  out.column_names = {"QUERY PLAN"};
+  out.column_types = {sql::TypeId::kText};
+  for (const auto& l : lines) out.rows.push_back({sql::Datum::Text(l)});
+  out.command_tag = "EXPLAIN";
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<engine::QueryResult>> DistributedPlanner::PlanAndExecute(
+    engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params) {
+  TableAnalysis analysis = AnalyzeTables(ext_->metadata(), stmt);
+  if (!analysis.HasCitusTables()) return std::optional<engine::QueryResult>();
+  if (!analysis.local.empty()) {
+    return Status::NotSupported(
+        "joining distributed tables with local tables is not supported");
+  }
+  if (stmt.is_explain) {
+    CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                            ExplainDistributed(ext_, stmt, params, analysis));
+    return std::optional<engine::QueryResult>(std::move(r));
+  }
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect: {
+      CITUSX_ASSIGN_OR_RETURN(
+          engine::QueryResult r,
+          ExecuteSelect(session, *stmt.select, params, analysis));
+      return std::optional<engine::QueryResult>(std::move(r));
+    }
+    case sql::Statement::Kind::kInsert:
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete: {
+      CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                              ExecuteDml(session, stmt, params, analysis));
+      return std::optional<engine::QueryResult>(std::move(r));
+    }
+    default:
+      return Status::Internal("unexpected statement in distributed planner");
+  }
+}
+
+Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
+    engine::Session& session, const sql::SelectStmt& sel,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  const auto& cost = ext_->node()->cost();
+  sql::DeparseOptions opts;
+  opts.params = &params;
+
+  // ---- Tier 1/2: fast path & router ----
+  // All distributed tables restricted to the same co-located shard group
+  // (restrictions propagate through dist-column equijoins)?
+  std::map<const CitusTable*, sql::Datum> restrictions =
+      ComputeDistRestrictions(sel, analysis, params);
+  bool routable = true;
+  int shard_index = -1;
+  std::string target_worker;
+  for (const auto* t : analysis.distributed) {
+    auto rit = restrictions.find(t);
+    if (rit == restrictions.end()) {
+      routable = false;
+      break;
+    }
+    auto coerced = rit->second.CastTo(t->dist_col_type);
+    if (!coerced.ok()) {
+      routable = false;
+      break;
+    }
+    const sql::Datum* v = &*coerced;
+    int idx = t->ShardIndexForHash(v->PartitionHash());
+    if (idx < 0 || (shard_index >= 0 && idx != shard_index)) {
+      routable = false;
+      break;
+    }
+    if (analysis.distributed.size() > 1 &&
+        t->colocation_id != analysis.distributed[0]->colocation_id) {
+      routable = false;
+      break;
+    }
+    shard_index = idx;
+    target_worker = t->shards[static_cast<size_t>(idx)].placement;
+  }
+  if (analysis.distributed.empty()) {
+    // Reference-table-only query: route to the local replica.
+    routable = true;
+    shard_index = 0;
+    target_worker = ext_->node()->name();
+  }
+  if (routable) {
+    bool is_fast_path = analysis.distributed.size() == 1 &&
+                        analysis.reference.empty() && sel.from.size() == 1 &&
+                        sel.from[0]->kind == sql::TableRef::Kind::kTable &&
+                        sel.group_by.empty() && sel.having == nullptr;
+    if (!ext_->node()->cpu().Consume(is_fast_path ? cost.plan_fast_path
+                                                  : cost.plan_router)) {
+      return Status::Cancelled("simulation stopping");
+    }
+    (is_fast_path ? fast_path_count : router_count)++;
+    auto map = ShardGroupTableMap(analysis, shard_index);
+    opts.table_map = &map;
+    sql::Statement stmt;
+    stmt.kind = sql::Statement::Kind::kSelect;
+    stmt.select = std::const_pointer_cast<sql::SelectStmt>(
+        std::shared_ptr<const sql::SelectStmt>(&sel, [](const SelectStmt*) {}));
+    Task task;
+    task.worker = target_worker;
+    task.colocation_id = analysis.distributed.empty()
+                             ? 0
+                             : analysis.distributed[0]->colocation_id;
+    task.shard_group = analysis.distributed.empty() ? -1 : shard_index;
+    task.sql = sql::DeparseSelect(sel, opts);
+    task.is_write = sel.for_update;
+    AdaptiveExecutor executor(ext_);
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, {task}));
+    return std::move(results[0]);
+  }
+
+  // ---- Tier 3: logical pushdown ----
+  if (!ext_->node()->cpu().Consume(cost.plan_pushdown)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  std::string reason;
+  bool colocated = CheckColocatedJoins(sel, analysis, ext_->metadata(), &reason);
+  bool subqueries_safe = true;
+  for (const auto& f : sel.from) {
+    if (f->kind == sql::TableRef::Kind::kSubquery) {
+      subqueries_safe &=
+          SubqueryPushdownSafe(*f->subquery, ext_->metadata(), &reason);
+    }
+  }
+  if (colocated && subqueries_safe && !analysis.distributed.empty()) {
+    // Determine merge requirements of the top level.
+    bool has_agg = !sel.group_by.empty() || sel.having != nullptr;
+    for (const auto& t : sel.targets) has_agg |= sql::ContainsAggregate(t.expr);
+    bool group_has_dist = false;
+    for (const auto& g : sel.group_by) {
+      ExprPtr expr = g;
+      if (g->kind == ExprKind::kConst && sql::IsIntegral(g->value.type())) {
+        int pos = static_cast<int>(g->value.int_value());
+        if (pos >= 1 && pos <= static_cast<int>(sel.targets.size())) {
+          expr = sel.targets[static_cast<size_t>(pos - 1)].expr;
+        }
+      }
+      group_has_dist |= AnyDistColRef(*expr, analysis) != nullptr;
+    }
+    const CitusTable* rep = analysis.distributed[0];
+    int num_groups = static_cast<int>(rep->shards.size());
+    pushdown_count++;
+    AdaptiveExecutor executor(ext_);
+
+    if (has_agg && !group_has_dist) {
+      // Partial aggregation with a coordinator merge step.
+      auto split_result = SplitAggregates(sel);
+      if (split_result.ok()) {
+        AggSplit& split = *split_result;
+        std::vector<Task> tasks;
+        for (int i = 0; i < num_groups; i++) {
+          auto map = ShardGroupTableMap(analysis, i);
+          sql::DeparseOptions topts;
+          topts.params = &params;
+          topts.table_map = &map;
+          Task task;
+          task.index = i;
+          task.worker = rep->shards[static_cast<size_t>(i)].placement;
+          task.colocation_id = rep->colocation_id;
+          task.shard_group = i;
+          task.sql = sql::DeparseSelect(split.worker, topts);
+          tasks.push_back(std::move(task));
+        }
+        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                                executor.Execute(session, std::move(tasks)));
+        engine::TempRelation temp;
+        if (!results.empty()) {
+          temp.column_types = results[0].column_types;
+          for (size_t i = 0; i < results[0].column_names.size(); i++) {
+            temp.column_names.push_back(StrFormat("c%zu", i));
+          }
+          for (auto& r : results) {
+            for (auto& row : r.rows) temp.rows.push_back(std::move(row));
+          }
+        }
+        CITUSX_ASSIGN_OR_RETURN(
+            engine::QueryResult merged,
+            RunMasterQuery(session, split.master, kIntermediateName, temp,
+                           params));
+        // Restore original output names.
+        for (size_t i = 0;
+             i < merged.column_names.size() && i < split.final_names.size();
+             i++) {
+          if (!split.final_names[i].empty()) {
+            merged.column_names[i] = split.final_names[i];
+          }
+        }
+        return merged;
+      }
+      return split_result.status();
+    }
+
+    // Full pushdown: the worker query is the original query (per shard
+    // group); the master concatenates, re-sorts, re-applies LIMIT/DISTINCT.
+    SelectStmt worker = *sel.Clone();
+    int visible = static_cast<int>(worker.targets.size());
+    // ORDER BY must be computable from the worker output: resolve to
+    // positions, appending hidden sort targets when necessary.
+    std::vector<sql::OrderByItem> master_order;
+    for (auto& o : worker.order_by) {
+      int slot = -1;
+      if (o.expr->kind == ExprKind::kConst &&
+          sql::IsIntegral(o.expr->value.type())) {
+        slot = static_cast<int>(o.expr->value.int_value()) - 1;
+      } else {
+        for (int i = 0; i < visible; i++) {
+          const auto& t = worker.targets[static_cast<size_t>(i)];
+          if ((!t.alias.empty() && o.expr->kind == ExprKind::kColumnRef &&
+               o.expr->table.empty() && o.expr->column == t.alias) ||
+              engine::ExprEquals(o.expr, t.expr)) {
+            slot = i;
+            break;
+          }
+        }
+      }
+      if (slot < 0) {
+        if (worker.distinct) {
+          return Status::NotSupported(
+              "ORDER BY expressions must appear in the DISTINCT list");
+        }
+        worker.targets.push_back(sql::SelectItem{o.expr->Clone(), ""});
+        slot = static_cast<int>(worker.targets.size()) - 1;
+      }
+      sql::OrderByItem item;
+      item.expr = sql::MakeConst(sql::Datum::Int8(slot + 1));
+      item.desc = o.desc;
+      master_order.push_back(item);
+    }
+    // Push LIMIT (+offset) to workers; master re-applies exactly.
+    sql::EvalContext ec;
+    ec.params = &params;
+    if (worker.limit != nullptr) {
+      CITUSX_ASSIGN_OR_RETURN(sql::Datum lim, sql::Eval(*worker.limit, ec));
+      int64_t worker_limit = lim.is_null() ? -1 : lim.AsInt64();
+      if (worker.offset != nullptr && worker_limit >= 0) {
+        CITUSX_ASSIGN_OR_RETURN(sql::Datum off, sql::Eval(*worker.offset, ec));
+        worker_limit += off.is_null() ? 0 : off.AsInt64();
+      }
+      if (worker_limit >= 0) {
+        worker.limit = sql::MakeConst(sql::Datum::Int8(worker_limit));
+      }
+    }
+    sql::ExprPtr master_limit =
+        sel.limit != nullptr ? sel.limit->Clone() : nullptr;
+    sql::ExprPtr master_offset =
+        sel.offset != nullptr ? sel.offset->Clone() : nullptr;
+    worker.offset = nullptr;
+
+    std::vector<Task> tasks;
+    for (int i = 0; i < num_groups; i++) {
+      auto map = ShardGroupTableMap(analysis, i);
+      sql::DeparseOptions topts;
+      topts.params = &params;
+      topts.table_map = &map;
+      Task task;
+      task.index = i;
+      task.worker = rep->shards[static_cast<size_t>(i)].placement;
+      task.colocation_id = rep->colocation_id;
+      task.shard_group = i;
+      task.sql = sql::DeparseSelect(worker, topts);
+      task.is_write = sel.for_update;
+      tasks.push_back(std::move(task));
+    }
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, std::move(tasks)));
+    engine::TempRelation temp;
+    std::vector<std::string> final_names;
+    if (!results.empty()) {
+      temp.column_types = results[0].column_types;
+      final_names = results[0].column_names;
+      for (size_t i = 0; i < results[0].column_names.size(); i++) {
+        temp.column_names.push_back(StrFormat("c%zu", i));
+      }
+      for (auto& r : results) {
+        for (auto& row : r.rows) temp.rows.push_back(std::move(row));
+      }
+    }
+    SelectStmt master;
+    master.from.push_back(std::make_shared<sql::TableRef>());
+    master.from[0]->kind = sql::TableRef::Kind::kTable;
+    master.from[0]->name = kIntermediateName;
+    for (int i = 0; i < visible; i++) {
+      master.targets.push_back(sql::SelectItem{IntermediateCol(i), ""});
+    }
+    master.distinct = sel.distinct;
+    master.order_by = master_order;
+    master.limit = master_limit;
+    master.offset = master_offset;
+    CITUSX_ASSIGN_OR_RETURN(
+        engine::QueryResult merged,
+        RunMasterQuery(session, master, kIntermediateName, temp, params));
+    for (size_t i = 0; i < merged.column_names.size() && i < final_names.size();
+         i++) {
+      merged.column_names[i] = final_names[i];
+    }
+    return merged;
+  }
+
+  // ---- Tier 4: logical join order (repartition/broadcast) ----
+  if (!ext_->node()->cpu().Consume(cost.plan_join_order)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  CITUSX_ASSIGN_OR_RETURN(
+      std::optional<engine::QueryResult> join_result,
+      TryJoinOrderPlan(session, sel, params, analysis));
+  if (join_result.has_value()) {
+    join_order_count++;
+    return std::move(*join_result);
+  }
+  return Status::NotSupported(
+      "cannot plan distributed query: " +
+      (reason.empty() ? std::string("unsupported query shape") : reason));
+}
+
+}  // namespace citusx::citus

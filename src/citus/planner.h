@@ -1,0 +1,144 @@
+// The distributed query planner (paper §3.5): four planner tiers tried from
+// cheapest to most expensive — fast path, router, logical pushdown, logical
+// join-order — plus distributed DML, COPY, DDL, and procedure delegation.
+#ifndef CITUSX_CITUS_PLANNER_H_
+#define CITUSX_CITUS_PLANNER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "citus/executor.h"
+#include "citus/extension.h"
+#include "sql/ast.h"
+
+namespace citusx::citus {
+
+/// Which planner produced a distributed plan (for stats/ablation).
+enum class PlannerTier {
+  kFastPath,
+  kRouter,
+  kPushdown,
+  kJoinOrder,
+};
+
+/// Analysis of the tables referenced by a statement.
+struct TableAnalysis {
+  std::vector<const CitusTable*> distributed;  // distinct dist tables
+  std::vector<const CitusTable*> reference;
+  std::vector<std::string> local;  // plain tables (non-Citus)
+  /// alias (or table name) -> citus table, for column-qualifier resolution.
+  std::map<std::string, const CitusTable*> alias_map;
+
+  bool HasCitusTables() const {
+    return !distributed.empty() || !reference.empty();
+  }
+};
+
+/// Collect referenced tables (recursively through joins and subqueries).
+TableAnalysis AnalyzeTables(const CitusMetadata& metadata,
+                            const sql::Statement& stmt);
+TableAnalysis AnalyzeSelectTables(const CitusMetadata& metadata,
+                                  const sql::SelectStmt& sel);
+
+/// The per-shard-group table map: logical name -> shard name at `index`,
+/// reference tables -> their single shard name.
+std::map<std::string, std::string> ShardGroupTableMap(
+    const TableAnalysis& analysis, int shard_index);
+
+class DistributedPlanner {
+ public:
+  explicit DistributedPlanner(CitusExtension* ext) : ext_(ext) {}
+
+  /// Entry point from the planner hook. Returns nullopt when the statement
+  /// involves no Citus tables (falls through to local planning).
+  Result<std::optional<engine::QueryResult>> PlanAndExecute(
+      engine::Session& session, const sql::Statement& stmt,
+      const std::vector<sql::Datum>& params);
+
+  /// Stats: which tier planned the last statement.
+  static int64_t fast_path_count;
+  static int64_t router_count;
+  static int64_t pushdown_count;
+  static int64_t join_order_count;
+
+ private:
+  Result<engine::QueryResult> ExecuteSelect(
+      engine::Session& session, const sql::SelectStmt& sel,
+      const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+  Result<engine::QueryResult> ExecuteDml(engine::Session& session,
+                                         const sql::Statement& stmt,
+                                         const std::vector<sql::Datum>& params,
+                                         const TableAnalysis& analysis);
+  Result<engine::QueryResult> ExecuteInsert(
+      engine::Session& session, const sql::InsertStmt& ins,
+      const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+  Result<engine::QueryResult> ExecuteInsertSelect(
+      engine::Session& session, const sql::InsertStmt& ins,
+      const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+
+  // Join-order planner (repartition.cc).
+  Result<std::optional<engine::QueryResult>> TryJoinOrderPlan(
+      engine::Session& session, const sql::SelectStmt& sel,
+      const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+
+  CitusExtension* ext_;
+};
+
+// ---- hooks implemented in ddl.cc / dml.cc ----
+
+Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
+    CitusExtension* ext, engine::Session& session, const sql::Statement& stmt);
+
+Result<std::optional<engine::QueryResult>> ProcessDistributedCopy(
+    CitusExtension* ext, engine::Session& session, const sql::CopyStmt& stmt,
+    const std::vector<std::vector<std::string>>& rows);
+
+Result<std::optional<engine::QueryResult>> ProcessDelegatedCall(
+    CitusExtension* ext, engine::Session& session, const sql::CallStmt& stmt,
+    const std::vector<sql::Datum>& args);
+
+// ---- shared helpers ----
+
+/// Find an equality restriction `<table's dist col> = <const|param>` among
+/// the statement's conjuncts. Returns the restriction value or nullopt.
+std::optional<sql::Datum> FindDistColRestriction(
+    const sql::SelectStmt& sel, const CitusTable& table,
+    const TableAnalysis& analysis, const std::vector<sql::Datum>& params);
+
+/// All conjuncts of a select: WHERE plus all JOIN ON clauses (recursive
+/// through joins, not into subqueries).
+void CollectConjuncts(const sql::SelectStmt& sel,
+                      std::vector<sql::ExprPtr>* out);
+
+/// True if `sel` (used as a FROM subquery or INSERT..SELECT source) can run
+/// per shard group without a coordinator merge step.
+bool SubqueryPushdownSafe(const sql::SelectStmt& sel,
+                          const CitusMetadata& metadata, std::string* reason);
+
+/// All distributed tables co-located and connected by dist-column equijoins.
+bool CheckColocatedJoins(const sql::SelectStmt& sel,
+                         const TableAnalysis& analysis,
+                         const CitusMetadata& metadata, std::string* reason);
+
+/// The distributed table whose distribution column `e` references, or null.
+const CitusTable* AnyDistColRef(const sql::Expr& e,
+                                const TableAnalysis& analysis);
+
+/// Execute a SELECT locally over intermediate results (the "master query").
+Result<engine::QueryResult> RunMasterQuery(
+    engine::Session& session, const sql::SelectStmt& master,
+    const std::string& temp_name, const engine::TempRelation& temp,
+    const std::vector<sql::Datum>& params);
+
+/// Reconstruct a CREATE TABLE statement for a shard from the coordinator's
+/// catalog shell, plus recorded post-creation DDL.
+Result<std::vector<std::string>> ShardCreationDdl(engine::Node* node,
+                                                  const CitusTable& table,
+                                                  uint64_t shard_id);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_PLANNER_H_

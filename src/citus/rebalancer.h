@@ -1,0 +1,56 @@
+// Shard rebalancer (paper §3.4): moves co-located shard groups between
+// workers to even out shard count or data size, with minimal write downtime
+// (snapshot copy + brief write-blocked catch-up, modelling logical
+// replication based moves).
+#ifndef CITUSX_CITUS_REBALANCER_H_
+#define CITUSX_CITUS_REBALANCER_H_
+
+#include <functional>
+#include <string>
+
+#include "citus/extension.h"
+
+namespace citusx::citus {
+
+enum class RebalanceStrategy {
+  kByShardCount,  // default: even number of shards per worker
+  kByDiskSize,    // even bytes per worker
+};
+
+/// A custom policy: cost of a shard group, capacity of a worker, and a
+/// constraint telling whether a group may be placed on a worker (§3.4).
+struct RebalancePolicy {
+  std::function<double(int shard_group)> cost;
+  std::function<double(const std::string& worker)> capacity;
+  std::function<bool(int shard_group, const std::string& worker)> constraint;
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(CitusExtension* ext) : ext_(ext) {}
+
+  /// Rebalance all co-location groups. Returns the number of shard-group
+  /// moves performed.
+  Result<int> Rebalance(engine::Session& session, RebalanceStrategy strategy);
+  Result<int> RebalanceWithPolicy(engine::Session& session,
+                                  const RebalancePolicy& policy);
+
+  /// Move one shard (and all shards co-located with it) to `target`.
+  Status MoveShard(engine::Session& session, uint64_t shard_id,
+                   const std::string& source, const std::string& target);
+
+  /// Write-blocked time of the last move (the paper's "minimal write
+  /// downtime" window).
+  sim::Time last_move_blocked_time = 0;
+
+ private:
+  // Move the shard at `shard_index` of every table in `colocation_id`.
+  Status MoveShardGroup(engine::Session& session, int colocation_id,
+                        int shard_index, const std::string& target);
+
+  CitusExtension* ext_;
+};
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_REBALANCER_H_

@@ -1,0 +1,261 @@
+// The logical join-order planner (paper §3.5, Figure 4D): plans joins
+// between non-co-located distributed tables by either broadcasting the
+// smaller table to every participating worker or re-partitioning it along
+// the larger table's shard intervals, choosing the order/strategy that
+// minimizes network traffic.
+//
+// Data movement is coordinator-mediated: map output is pulled to the
+// coordinator and COPY'd to the workers as an intermediate relation, which
+// is then registered as a temporary reference table so the co-located
+// pushdown planner can finish the job (filters, aggregates, merge step).
+#include "citus/planner.h"
+#include "engine/planner.h"
+#include "sql/deparser.h"
+
+namespace citusx::citus {
+
+namespace {
+
+uint64_t g_repart_counter = 0;
+
+// Rewrite FROM references of `from_name` to `to_name`, preserving column
+// qualification by aliasing the new name back to the old one.
+void RewriteTableRefs(sql::TableRefPtr& ref, const std::string& from_name,
+                      const std::string& to_name) {
+  if (ref == nullptr) return;
+  switch (ref->kind) {
+    case sql::TableRef::Kind::kTable:
+      if (ref->name == from_name) {
+        if (ref->alias.empty()) ref->alias = from_name;
+        ref->name = to_name;
+      }
+      return;
+    case sql::TableRef::Kind::kSubquery:
+      for (auto& f : ref->subquery->from) {
+        RewriteTableRefs(f, from_name, to_name);
+      }
+      return;
+    case sql::TableRef::Kind::kJoin:
+      RewriteTableRefs(ref->left, from_name, to_name);
+      RewriteTableRefs(ref->right, from_name, to_name);
+      return;
+  }
+}
+
+// True if `name` appears as a base table somewhere under a FROM subquery
+// (we only reposition top-level tables).
+bool AppearsInSubquery(const sql::SelectStmt& sel, const std::string& name) {
+  std::function<bool(const sql::TableRef&, bool)> walk =
+      [&](const sql::TableRef& ref, bool inside_subquery) -> bool {
+    switch (ref.kind) {
+      case sql::TableRef::Kind::kTable:
+        return inside_subquery && ref.name == name;
+      case sql::TableRef::Kind::kSubquery:
+        for (const auto& f : ref.subquery->from) {
+          if (walk(*f, true)) return true;
+        }
+        return false;
+      case sql::TableRef::Kind::kJoin:
+        return walk(*ref.left, inside_subquery) ||
+               walk(*ref.right, inside_subquery);
+    }
+    return false;
+  };
+  for (const auto& f : sel.from) {
+    if (walk(*f, false)) return true;
+  }
+  return false;
+}
+
+// Find the join key of `moved` against `kept`: an equality conjunct with one
+// side referencing only `moved` columns. Returns the column name of the
+// moved side, or empty.
+std::string FindJoinColumn(const sql::SelectStmt& sel, const CitusTable& moved,
+                           const TableAnalysis& analysis) {
+  std::vector<sql::ExprPtr> conjuncts;
+  CollectConjuncts(sel, &conjuncts);
+  auto refs_table = [&](const sql::Expr& e, const CitusTable& t) {
+    if (e.kind != sql::ExprKind::kColumnRef) return false;
+    if (!e.table.empty()) {
+      auto it = analysis.alias_map.find(e.table);
+      return it != analysis.alias_map.end() && it->second == &t;
+    }
+    return false;  // require qualification for non-co-located joins
+  };
+  for (const auto& c : conjuncts) {
+    if (c->kind != sql::ExprKind::kBinary ||
+        c->bin_op != sql::BinOp::kEq) {
+      continue;
+    }
+    for (int side = 0; side < 2; side++) {
+      const sql::ExprPtr& a = c->args[static_cast<size_t>(side)];
+      if (refs_table(*a, moved)) return a->column;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::optional<engine::QueryResult>> DistributedPlanner::TryJoinOrderPlan(
+    engine::Session& session, const sql::SelectStmt& sel,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  // Scope: exactly two distributed tables at the top level (reference
+  // tables ride along), joined by equality.
+  if (analysis.distributed.size() != 2) {
+    return std::optional<engine::QueryResult>();
+  }
+  const CitusTable* a = analysis.distributed[0];
+  const CitusTable* b = analysis.distributed[1];
+  if (AppearsInSubquery(sel, a->name) || AppearsInSubquery(sel, b->name)) {
+    return std::optional<engine::QueryResult>();
+  }
+
+  // Join-order selection: move the smaller table (by tracked statistics);
+  // estimated network traffic is size(moved) for repartition and
+  // size(moved) * workers for broadcast (§3.5 "minimizes network traffic").
+  const CitusTable* kept = a;
+  const CitusTable* moved = b;
+  if (a->approx_rows < b->approx_rows) {
+    kept = b;
+    moved = a;
+  }
+  std::string join_col = FindJoinColumn(sel, *moved, analysis);
+  int64_t moved_bytes = std::max<int64_t>(moved->approx_bytes,
+                                          moved->approx_rows * 64);
+  std::set<std::string> kept_workers;
+  for (const auto& s : kept->shards) kept_workers.insert(s.placement);
+  // Repartition traffic ~= size(moved); broadcast ~= size(moved) * workers.
+  // Prefer repartitioning unless the moved table is tiny (broadcast avoids
+  // hashing and works without a join column).
+  bool use_repartition = !join_col.empty() && kept_workers.size() > 1 &&
+                         moved->approx_rows >= 1000;
+  (void)moved_bytes;
+
+  // ---- map phase: read the moved table's shards ----
+  AdaptiveExecutor executor(ext_);
+  std::vector<Task> map_tasks;
+  engine::TableInfo* moved_shell = ext_->node()->catalog().Find(moved->name);
+  if (moved_shell == nullptr) return Status::NotFound("shell table missing");
+  for (size_t i = 0; i < moved->shards.size(); i++) {
+    Task t;
+    t.index = static_cast<int>(i);
+    t.worker = moved->shards[i].placement;
+    t.sql = "SELECT * FROM " + moved->ShardName(moved->shards[i].shard_id);
+    map_tasks.push_back(std::move(t));
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> map_results,
+                          executor.Execute(session, std::move(map_tasks)));
+
+  // ---- shuffle phase: build the per-worker intermediate relations ----
+  std::string tmp_logical = StrFormat("citusx_repart_%llu",
+                                      static_cast<unsigned long long>(
+                                          ++g_repart_counter));
+  int join_col_idx =
+      join_col.empty() ? -1 : moved_shell->schema().FindColumn(join_col);
+  if (join_col_idx < 0) use_repartition = false;
+
+  // worker -> rows shipped there.
+  std::map<std::string, std::vector<std::vector<std::string>>> shipments;
+  for (auto& r : map_results) {
+    for (auto& row : r.rows) {
+      std::vector<std::string> fields;
+      fields.reserve(row.size());
+      for (const auto& d : row) {
+        fields.push_back(d.is_null() ? "\\N" : d.ToText());
+      }
+      if (use_repartition) {
+        const sql::Datum& key = row[static_cast<size_t>(join_col_idx)];
+        if (key.is_null()) continue;  // NULL keys never join
+        auto coerced = key.CastTo(kept->dist_col_type);
+        int idx = coerced.ok()
+                      ? kept->ShardIndexForHash(coerced->PartitionHash())
+                      : -1;
+        if (idx < 0) continue;
+        shipments[kept->shards[static_cast<size_t>(idx)].placement].push_back(
+            std::move(fields));
+      } else {
+        for (const auto& w : kept_workers) shipments[w].push_back(fields);
+      }
+    }
+  }
+
+  // Register the intermediate relation as a temporary reference table so
+  // the pushdown planner can treat the rewritten query as co-located.
+  CitusTable tmp;
+  tmp.name = tmp_logical;
+  tmp.is_reference = true;
+  ShardInterval si;
+  si.shard_id = ext_->metadata().NextShardId();
+  si.min_hash = INT32_MIN;
+  si.max_hash = INT32_MAX;
+  tmp.shards.push_back(si);
+  tmp.replica_nodes.assign(kept_workers.begin(), kept_workers.end());
+  std::string tmp_shard = tmp.ShardName(si.shard_id);
+  CitusTable* registered = ext_->metadata().Add(tmp);
+  // The coordinator needs a shell for ShardCreationDdl-free deparsing of
+  // worker DDL: create shard tables directly with the moved table's schema.
+  sql::Statement create;
+  create.kind = sql::Statement::Kind::kCreateTable;
+  create.create_table = std::make_shared<sql::CreateTableStmt>();
+  create.create_table->table = tmp_shard;
+  create.create_table->schema = moved_shell->schema();
+  std::string create_sql = sql::DeparseStatement(create);
+
+  auto cleanup = [&]() {
+    for (const auto& w : registered->replica_nodes) {
+      auto conn = ext_->GetConnection(session, w, {0, -1});
+      if (conn.ok()) {
+        auto r = (*conn)->conn->Query("DROP TABLE IF EXISTS " + tmp_shard);
+        (void)r;
+      }
+    }
+    ext_->metadata().Remove(tmp_logical);
+  };
+
+  std::vector<Task> ship_tasks;
+  int index = 0;
+  for (const auto& w : registered->replica_nodes) {
+    Task t;
+    t.index = index++;
+    t.worker = w;
+    t.sql = create_sql;
+    ship_tasks.push_back(std::move(t));
+  }
+  auto created = executor.Execute(session, std::move(ship_tasks));
+  if (!created.ok()) {
+    cleanup();
+    return created.status();
+  }
+  std::vector<Task> copy_tasks;
+  index = 0;
+  for (auto& [w, rows] : shipments) {
+    if (rows.empty()) continue;
+    Task t;
+    t.index = index++;
+    t.worker = w;
+    t.is_copy = true;
+    t.copy_table = tmp_shard;
+    t.copy_rows = std::move(rows);
+    copy_tasks.push_back(std::move(t));
+  }
+  auto shipped = executor.Execute(session, std::move(copy_tasks));
+  if (!shipped.ok()) {
+    cleanup();
+    return shipped.status();
+  }
+
+  // ---- rewrite and delegate to the co-located pushdown path ----
+  sql::SelectPtr rewritten = sel.Clone();
+  for (auto& f : rewritten->from) {
+    RewriteTableRefs(f, moved->name, tmp_logical);
+  }
+  TableAnalysis new_analysis =
+      AnalyzeSelectTables(ext_->metadata(), *rewritten);
+  auto result = ExecuteSelect(session, *rewritten, params, new_analysis);
+  cleanup();
+  if (!result.ok()) return result.status();
+  return std::optional<engine::QueryResult>(std::move(result).value());
+}
+
+}  // namespace citusx::citus

@@ -1,0 +1,451 @@
+// Citus UDFs (§3.3): create_distributed_table, create_reference_table,
+// co-location, procedure delegation registration, rebalancing entry points,
+// and the consistent restore point.
+#include "citus/planner.h"
+#include "citus/rebalancer.h"
+#include "sql/deparser.h"
+
+namespace citusx::citus {
+
+namespace {
+
+// Named-argument extraction: the parser encodes f(x := v) as a marker pair
+// ("__named__x", v). Returns positional args + named map.
+void SplitNamedArgs(const std::vector<sql::Datum>& args,
+                    std::vector<sql::Datum>* positional,
+                    std::map<std::string, sql::Datum>* named) {
+  for (size_t i = 0; i < args.size(); i++) {
+    const auto& a = args[i];
+    if (a.type() == sql::TypeId::kText &&
+        a.text_value().rfind("__named__", 0) == 0 && i + 1 < args.size()) {
+      (*named)[a.text_value().substr(9)] = args[i + 1];
+      i++;
+    } else {
+      positional->push_back(a);
+    }
+  }
+}
+
+// Propagate the (empty) shell table definition to all workers, so that any
+// node can plan statements against the logical table (metadata syncing /
+// every-node-a-coordinator mode, §3.2.1).
+Status PropagateShellTable(CitusExtension* ext, engine::Session& session,
+                           const std::string& table_name) {
+  engine::TableInfo* shell = ext->node()->catalog().Find(table_name);
+  if (shell == nullptr) return Status::NotFound("shell table missing");
+  sql::Statement create;
+  create.kind = sql::Statement::Kind::kCreateTable;
+  create.create_table = std::make_shared<sql::CreateTableStmt>();
+  create.create_table->table = table_name;
+  create.create_table->schema = shell->schema();
+  create.create_table->primary_key = shell->primary_key;
+  create.create_table->if_not_exists = true;
+  std::string ddl = sql::DeparseStatement(create);
+  AdaptiveExecutor executor(ext);
+  std::vector<Task> tasks;
+  int index = 0;
+  for (const auto& worker : ext->metadata().workers) {
+    if (worker == ext->node()->name()) continue;
+    Task t;
+    t.index = index++;
+    t.worker = worker;
+    t.sql = ddl;
+    t.is_write = true;
+    tasks.push_back(std::move(t));
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                          executor.Execute(session, std::move(tasks)));
+  (void)results;
+  return Status::OK();
+}
+
+// Create all shard placements for a new distributed table and stream any
+// existing local rows into them.
+Status CreateShards(CitusExtension* ext, engine::Session& session,
+                    CitusTable* table) {
+  AdaptiveExecutor executor(ext);
+  std::vector<Task> tasks;
+  int index = 0;
+  for (size_t i = 0; i < table->shards.size(); i++) {
+    CITUSX_ASSIGN_OR_RETURN(
+        std::vector<std::string> ddl,
+        ShardCreationDdl(ext->node(), *table, table->shards[i].shard_id));
+    for (const auto& sql_text : ddl) {
+      Task t;
+      t.index = index++;
+      t.worker = table->shards[i].placement;
+      t.sql = sql_text;
+      t.is_write = true;
+      tasks.push_back(std::move(t));
+    }
+  }
+  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                          executor.Execute(session, std::move(tasks)));
+  (void)results;
+  return Status::OK();
+}
+
+// Move any pre-existing rows of the shell table into the shards, then empty
+// the shell (the data now lives on the workers).
+Status MigrateExistingRows(CitusExtension* ext, engine::Session& session,
+                           CitusTable* table) {
+  engine::TableInfo* shell = ext->node()->catalog().Find(table->name);
+  if (shell == nullptr || shell->heap == nullptr) return Status::OK();
+  if (shell->heap->num_rows() == 0) return Status::OK();
+  engine::ExecContext ctx = session.MakeExecContext(nullptr);
+  std::vector<std::vector<std::string>> rows;
+  for (storage::RowId rid = 0; rid < shell->heap->num_rows(); rid++) {
+    const storage::TupleVersion* v =
+        shell->heap->VisibleVersion(rid, ctx.snapshot, ctx.txns[0]);
+    if (v == nullptr) continue;
+    std::vector<std::string> fields;
+    for (const auto& d : v->row) {
+      fields.push_back(d.is_null() ? "\\N" : d.ToText());
+    }
+    rows.push_back(std::move(fields));
+  }
+  sql::CopyStmt copy;
+  copy.table = table->name;
+  CITUSX_ASSIGN_OR_RETURN(std::optional<engine::QueryResult> copied,
+                          ProcessDistributedCopy(ext, session, copy, rows));
+  (void)copied;
+  shell->heap->Truncate();
+  for (auto& idx : shell->indexes) {
+    if (idx->btree) idx->btree->Truncate();
+    if (idx->gin) idx->gin->Truncate();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void CitusExtension::RegisterUdfs() {
+  auto& udfs = node_->hooks().udfs;
+  CitusExtension* ext = this;
+
+  udfs["create_distributed_table"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& raw_args) -> Result<sql::Datum> {
+    std::vector<sql::Datum> args;
+    std::map<std::string, sql::Datum> named;
+    SplitNamedArgs(raw_args, &args, &named);
+    if (args.size() < 2) {
+      return Status::InvalidArgument(
+          "create_distributed_table(table, distribution_column)");
+    }
+    std::string name = args[0].ToText();
+    std::string dist_column = args[1].ToText();
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    if (ext->metadata().Find(name) != nullptr) {
+      return Status::AlreadyExists("table is already distributed: " + name);
+    }
+    engine::TableInfo* shell = ext->node()->catalog().Find(name);
+    if (shell == nullptr) {
+      return Status::NotFound("relation \"" + name + "\" does not exist");
+    }
+    int dist_idx = shell->schema().FindColumn(dist_column);
+    if (dist_idx < 0) {
+      return Status::InvalidArgument("column \"" + dist_column +
+                                     "\" does not exist");
+    }
+    if (ext->metadata().workers.empty()) {
+      return Status::InvalidArgument("no worker nodes are registered");
+    }
+    CitusTable table;
+    table.name = name;
+    table.dist_column = dist_column;
+    table.dist_col_index = dist_idx;
+    table.dist_col_type =
+        shell->schema().columns[static_cast<size_t>(dist_idx)].type;
+    table.columnar_shards =
+        session.GetVar("citusx.shard_access_method") == "columnar";
+
+    int shard_count = ext->metadata().default_shard_count;
+    const CitusTable* colocate_with = nullptr;
+    auto cw = named.find("colocate_with");
+    if (cw != named.end() && cw->second.ToText() != "none" &&
+        cw->second.ToText() != "default") {
+      colocate_with = ext->metadata().Find(cw->second.ToText());
+      if (colocate_with == nullptr) {
+        return Status::NotFound("colocate_with table does not exist: " +
+                                cw->second.ToText());
+      }
+      if (colocate_with->dist_col_type != table.dist_col_type) {
+        return Status::InvalidArgument(
+            "cannot colocate tables with different distribution column "
+            "types");
+      }
+    } else if (cw == named.end()) {
+      // Implicit co-location by distribution column type (§3.3.2).
+      int existing = ext->metadata().FindCompatibleColocation(
+          table.dist_col_type, shard_count);
+      if (existing != 0) {
+        for (const auto& [n, t] : ext->metadata().tables()) {
+          if (!t.is_reference && t.colocation_id == existing) {
+            colocate_with = &t;
+            break;
+          }
+        }
+      }
+    }
+    if (colocate_with != nullptr) {
+      table.colocation_id = colocate_with->colocation_id;
+      for (const auto& s : colocate_with->shards) {
+        ShardInterval si;
+        si.shard_id = ext->metadata().NextShardId();
+        si.min_hash = s.min_hash;
+        si.max_hash = s.max_hash;
+        si.placement = s.placement;
+        table.shards.push_back(si);
+      }
+    } else {
+      table.colocation_id = ext->metadata().NextColocationId();
+      auto intervals = MakeHashIntervals(shard_count);
+      const auto& workers = ext->metadata().workers;
+      for (size_t i = 0; i < intervals.size(); i++) {
+        ShardInterval si;
+        si.shard_id = ext->metadata().NextShardId();
+        si.min_hash = intervals[i].first;
+        si.max_hash = intervals[i].second;
+        si.placement = workers[i % workers.size()];  // round robin (§3.3.1)
+        table.shards.push_back(si);
+      }
+    }
+    CitusTable* stored = ext->metadata().Add(std::move(table));
+    CITUSX_RETURN_IF_ERROR(PropagateShellTable(ext, session, stored->name));
+    CITUSX_RETURN_IF_ERROR(CreateShards(ext, session, stored));
+    CITUSX_RETURN_IF_ERROR(MigrateExistingRows(ext, session, stored));
+    return sql::Datum::Null();
+  };
+
+  udfs["create_reference_table"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("create_reference_table(table)");
+    }
+    std::string name = args[0].ToText();
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    if (ext->metadata().Find(name) != nullptr) {
+      return Status::AlreadyExists("table is already distributed: " + name);
+    }
+    engine::TableInfo* shell = ext->node()->catalog().Find(name);
+    if (shell == nullptr) {
+      return Status::NotFound("relation \"" + name + "\" does not exist");
+    }
+    CitusTable table;
+    table.name = name;
+    table.is_reference = true;
+    ShardInterval si;
+    si.shard_id = ext->metadata().NextShardId();
+    si.min_hash = INT32_MIN;
+    si.max_hash = INT32_MAX;
+    table.shards.push_back(si);
+    // Replicated to all nodes, including the coordinator (§3.3.3).
+    table.replica_nodes = ext->metadata().workers;
+    bool coord_listed = false;
+    for (const auto& w : table.replica_nodes) {
+      coord_listed |= w == ext->node()->name();
+    }
+    if (!coord_listed) table.replica_nodes.push_back(ext->node()->name());
+    CitusTable* stored = ext->metadata().Add(std::move(table));
+    CITUSX_RETURN_IF_ERROR(PropagateShellTable(ext, session, stored->name));
+    // Create the replica shard on every node.
+    AdaptiveExecutor executor(ext);
+    std::vector<Task> tasks;
+    int index = 0;
+    for (const auto& node_name : stored->replica_nodes) {
+      CITUSX_ASSIGN_OR_RETURN(
+          std::vector<std::string> ddl,
+          ShardCreationDdl(ext->node(), *stored, stored->shards[0].shard_id));
+      for (const auto& sql_text : ddl) {
+        Task t;
+        t.index = index++;
+        t.worker = node_name;
+        t.sql = sql_text;
+        t.is_write = true;
+        tasks.push_back(std::move(t));
+      }
+    }
+    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                            executor.Execute(session, std::move(tasks)));
+    (void)results;
+    CITUSX_RETURN_IF_ERROR(MigrateExistingRows(ext, session, stored));
+    return sql::Datum::Null();
+  };
+
+  udfs["create_distributed_procedure"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument(
+          "create_distributed_procedure(name, dist_arg_index, table)");
+    }
+    DistributedProcedure proc;
+    proc.name = args[0].ToText();
+    proc.dist_arg_index = static_cast<int>(args[1].AsInt64());
+    proc.colocated_table = args[2].ToText();
+    if (ext->metadata().Find(proc.colocated_table) == nullptr) {
+      return Status::NotFound("table does not exist: " + proc.colocated_table);
+    }
+    ext->metadata().procedures[proc.name] = proc;
+    return sql::Datum::Null();
+  };
+
+  udfs["rebalance_table_shards"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    RebalanceStrategy strategy = RebalanceStrategy::kByShardCount;
+    if (!args.empty() && args[0].ToText() == "by_disk_size") {
+      strategy = RebalanceStrategy::kByDiskSize;
+    }
+    Rebalancer rebalancer(ext);
+    CITUSX_ASSIGN_OR_RETURN(int moves, rebalancer.Rebalance(session, strategy));
+    return sql::Datum::Int8(moves);
+  };
+
+  udfs["citus_move_shard_placement"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.size() != 3) {
+      return Status::InvalidArgument(
+          "citus_move_shard_placement(shard_id, source, target)");
+    }
+    Rebalancer rebalancer(ext);
+    CITUSX_RETURN_IF_ERROR(rebalancer.MoveShard(
+        session, static_cast<uint64_t>(args[0].AsInt64()), args[1].ToText(),
+        args[2].ToText()));
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_add_node"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) return Status::InvalidArgument("citus_add_node(name)");
+    std::string name = args[0].ToText();
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    if (ext->directory().Find(name) == nullptr) {
+      return Status::NotFound("unknown node: " + name);
+    }
+    for (const auto& w : ext->metadata().workers) {
+      if (w == name) {
+        return Status::AlreadyExists("node is already registered: " + name);
+      }
+    }
+    ext->metadata().workers.push_back(name);
+    // Sync schema to the new node: shells for every Citus table, plus a
+    // replica of every reference table. Shards move only when the user
+    // rebalances (§3.4).
+    AdaptiveExecutor executor(ext);
+    for (auto& [tname, table] : ext->metadata().mutable_tables()) {
+      CITUSX_RETURN_IF_ERROR(PropagateShellTable(ext, session, tname));
+      if (table.is_reference) {
+        CITUSX_ASSIGN_OR_RETURN(
+            std::vector<std::string> ddl,
+            ShardCreationDdl(ext->node(), table, table.shards[0].shard_id));
+        std::vector<Task> tasks;
+        int index = 0;
+        for (const auto& sql_text : ddl) {
+          Task t;
+          t.index = index++;
+          t.worker = name;
+          t.sql = sql_text;
+          t.is_write = true;
+          tasks.push_back(std::move(t));
+        }
+        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                                executor.Execute(session, std::move(tasks)));
+        (void)results;
+        // Backfill the replica from the coordinator's replica shard.
+        std::string shard = table.ShardName(table.shards[0].shard_id);
+        engine::TableInfo* local = ext->node()->catalog().Find(shard);
+        if (local != nullptr && local->heap != nullptr &&
+            local->heap->num_rows() > 0) {
+          engine::ExecContext ctx = session.MakeExecContext(nullptr);
+          std::vector<std::vector<std::string>> rows;
+          for (storage::RowId rid = 0; rid < local->heap->num_rows(); rid++) {
+            const storage::TupleVersion* v =
+                local->heap->VisibleVersion(rid, ctx.snapshot, *ctx.txns);
+            if (v == nullptr) continue;
+            std::vector<std::string> fields;
+            for (const auto& datum : v->row) {
+              fields.push_back(datum.is_null() ? "\\N" : datum.ToText());
+            }
+            rows.push_back(std::move(fields));
+          }
+          CITUSX_ASSIGN_OR_RETURN(WorkerConnection * wc,
+                                  ext->GetConnection(session, name, {0, -1}));
+          CITUSX_ASSIGN_OR_RETURN(engine::QueryResult copied,
+                                  wc->conn->CopyIn(shard, {}, std::move(rows)));
+          (void)copied;
+        }
+        table.replica_nodes.push_back(name);
+      }
+    }
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_create_restore_point"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    // Block writes to the commit-records table while establishing the
+    // restore point (§3.9): in-flight 2PCs finish, new ones wait.
+    engine::TableInfo* records =
+        ext->node()->catalog().Find(CitusExtension::kCommitRecordsTable);
+    if (records == nullptr) return Status::Internal("no commit records table");
+    CITUSX_RETURN_IF_ERROR(session.EnsureTxn());
+    CITUSX_RETURN_IF_ERROR(ext->node()->locks().Acquire(
+        engine::LockTag{records->oid, engine::LockTag::kTableRid},
+        session.current_txn(), engine::LockMode::kExclusive));
+    // The restore point is a WAL record on every node; charge a round of
+    // WAL flushes.
+    if (!ext->node()->sim()->WaitFor(ext->node()->cost().wal_flush)) {
+      return Status::Cancelled("simulation stopping");
+    }
+    return sql::Datum::Text(args.empty() ? "restore_point"
+                                         : args[0].ToText());
+  };
+
+  udfs["citus_table_size"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) return Status::InvalidArgument("citus_table_size(table)");
+    CITUSX_ASSIGN_OR_RETURN(CitusTable * t,
+                            ext->metadata().Get(args[0].ToText()));
+    return sql::Datum::Int8(t->approx_bytes);
+  };
+
+  udfs["citus_shard_count"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) return Status::InvalidArgument("citus_shard_count(table)");
+    CITUSX_ASSIGN_OR_RETURN(CitusTable * t,
+                            ext->metadata().Get(args[0].ToText()));
+    return sql::Datum::Int8(static_cast<int64_t>(t->shards.size()));
+  };
+}
+
+std::vector<std::pair<int32_t, int32_t>> MakeHashIntervals(int count) {
+  std::vector<std::pair<int32_t, int32_t>> out;
+  uint64_t span = (1ULL << 32) / static_cast<uint64_t>(count);
+  int64_t lo = INT32_MIN;
+  for (int i = 0; i < count; i++) {
+    int64_t hi = i == count - 1
+                     ? INT32_MAX
+                     : lo + static_cast<int64_t>(span) - 1;
+    out.emplace_back(static_cast<int32_t>(lo), static_cast<int32_t>(hi));
+    lo = hi + 1;
+  }
+  return out;
+}
+
+}  // namespace citusx::citus

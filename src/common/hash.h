@@ -1,0 +1,39 @@
+// Hash functions used for hash-partitioning distributed tables.
+//
+// PostgreSQL/Citus hash values are signed 32-bit ints and shards own
+// contiguous ranges of the int32 hash space; we reproduce that scheme so
+// shard-pruning logic matches the paper's description (§3.3.1).
+#ifndef CITUSX_COMMON_HASH_H_
+#define CITUSX_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace citusx {
+
+/// 64-bit avalanche mix (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash a 64-bit integer to the signed 32-bit partition hash space.
+inline int32_t HashInt64(int64_t v) {
+  return static_cast<int32_t>(Mix64(static_cast<uint64_t>(v)) & 0xffffffffULL);
+}
+
+/// FNV-1a based string hash folded into the signed 32-bit space.
+inline int32_t HashBytes(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int32_t>(Mix64(h) & 0xffffffffULL);
+}
+
+}  // namespace citusx
+
+#endif  // CITUSX_COMMON_HASH_H_

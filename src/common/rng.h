@@ -1,0 +1,73 @@
+// Deterministic random number generation for workloads and tests.
+#ifndef CITUSX_COMMON_RNG_H_
+#define CITUSX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace citusx {
+
+/// xoshiro-style deterministic RNG; seedable and cheap.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : state_(Mix64(seed) | 1) {}
+
+  uint64_t Next() {
+    state_ = Mix64(state_);
+    return state_;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// TPC-C style non-uniform random (NURand).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random lowercase string of length [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len) {
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string s(static_cast<size_t>(len), 'a');
+    for (auto& ch : s) ch = static_cast<char>('a' + Uniform(0, 25));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian generator over [0, n) as used by YCSB.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace citusx
+
+#endif  // CITUSX_COMMON_RNG_H_

@@ -1,0 +1,152 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// Arrow/RocksDB. Every fallible operation in citusx returns one of these.
+#ifndef CITUSX_COMMON_STATUS_H_
+#define CITUSX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace citusx {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied bad input (e.g. SQL syntax error)
+  kNotFound,          // table/shard/object missing
+  kAlreadyExists,     // duplicate object or unique violation
+  kNotSupported,      // query shape the engine cannot handle
+  kInternal,          // invariant violation inside the engine
+  kAborted,           // transaction aborted (deadlock victim, serialization)
+  kDeadlock,          // distributed or local deadlock detected
+  kUnavailable,       // node down / connection refused
+  kResourceExhausted, // out of connections, memory budget, etc.
+  kCancelled,         // statement cancelled
+  kIoError,           // simulated storage failure
+};
+
+/// Returns a short human-readable name ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Deadlock(std::string m) {
+    return Status(StatusCode::kDeadlock, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error. Holds T on success, Status otherwise.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate errors up the call stack.
+#define CITUSX_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::citusx::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define CITUSX_CONCAT_IMPL(a, b) a##b
+#define CITUSX_CONCAT(a, b) CITUSX_CONCAT_IMPL(a, b)
+
+// Evaluate a Result<T> expression, return on error, bind the value otherwise.
+#define CITUSX_ASSIGN_OR_RETURN(decl, expr)                     \
+  auto CITUSX_CONCAT(_res_, __LINE__) = (expr);                 \
+  if (!CITUSX_CONCAT(_res_, __LINE__).ok())                     \
+    return CITUSX_CONCAT(_res_, __LINE__).status();             \
+  decl = std::move(CITUSX_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace citusx
+
+#endif  // CITUSX_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+// The extension hook API (paper §3.1). The Citus layer installs itself into
+// a node exclusively through these seams, mirroring PostgreSQL's extension
+// points:
+//  - planner hook        -> planner_hook (may take over SELECT/DML planning;
+//                           stands in for planner_hook + CustomScan)
+//  - utility hook        -> utility_hook (DDL) and copy_hook (COPY)
+//  - transaction callbacks -> pre_commit / post_commit / post_abort
+//  - UDFs                -> udfs registry (callable from SELECT)
+//  - CALL handler        -> call_hook (stored-procedure delegation)
+//  - background workers  -> background_workers (maintenance daemon)
+#ifndef CITUSX_ENGINE_HOOKS_H_
+#define CITUSX_ENGINE_HOOKS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec.h"
+#include "sql/ast.h"
+
+namespace citusx::engine {
+
+class Session;
+class Node;
+
+/// A user-defined function callable as SELECT f(args).
+using Udf =
+    std::function<Result<sql::Datum>(Session&, const std::vector<sql::Datum>&)>;
+
+/// A stored procedure callable as CALL p(args).
+using Procedure = std::function<Result<QueryResult>(
+    Session&, const std::vector<sql::Datum>&)>;
+
+struct ExtensionHooks {
+  /// Consulted before local planning of SELECT/INSERT/UPDATE/DELETE.
+  /// Return a result to take over; nullopt to fall through.
+  std::function<Result<std::optional<QueryResult>>(
+      Session&, const sql::Statement&, const std::vector<sql::Datum>&)>
+      planner_hook;
+
+  /// Consulted for DDL/TRUNCATE utility statements.
+  std::function<Result<std::optional<QueryResult>>(Session&,
+                                                   const sql::Statement&)>
+      utility_hook;
+
+  /// Consulted for COPY with the already-framed input rows.
+  std::function<Result<std::optional<QueryResult>>(
+      Session&, const sql::CopyStmt&,
+      const std::vector<std::vector<std::string>>&)>
+      copy_hook;
+
+  /// Consulted for CALL (stored-procedure delegation, §3.8).
+  std::function<Result<std::optional<QueryResult>>(
+      Session&, const sql::CallStmt&, const std::vector<sql::Datum>&)>
+      call_hook;
+
+  /// Transaction callbacks (§3.7). pre_commit failing aborts the local
+  /// transaction.
+  std::function<Status(Session&)> pre_commit;
+  std::function<void(Session&)> post_commit;
+  std::function<void(Session&)> post_abort;
+
+  /// SELECT-able UDFs (create_distributed_table etc.).
+  std::map<std::string, Udf> udfs;
+
+  /// Background workers started with the node (maintenance daemon).
+  std::vector<std::pair<std::string, std::function<void(Node&)>>>
+      background_workers;
+};
+
+}  // namespace citusx::engine
+
+#endif  // CITUSX_ENGINE_HOOKS_H_

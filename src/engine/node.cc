@@ -1,0 +1,154 @@
+#include "engine/node.h"
+
+#include "engine/session.h"
+
+namespace citusx::engine {
+
+Node::Node(sim::Simulation* sim, std::string name, const sim::CostModel& cost)
+    : sim_(sim),
+      name_(std::move(name)),
+      cost_(cost),
+      cpu_(sim, cost.cores_per_node),
+      disk_(sim, cost.disk_iops, cost.disk_queue_depth),
+      pool_(sim, &disk_, cost.buffer_pool_bytes, cost.page_bytes),
+      catalog_(&pool_),
+      locks_(sim) {}
+
+Node::~Node() = default;
+
+std::unique_ptr<Session> Node::OpenSession() {
+  return std::make_unique<Session>(this);
+}
+
+void Node::StartBackgroundWorkers() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  // Autovacuum: reclaim dead MVCC versions when they accumulate.
+  sim_->Spawn(
+      name_ + ":autovacuum",
+      [this] {
+        while (sim_->WaitFor(5 * sim::kSecond)) {
+          if (down_) continue;
+          for (TableInfo* table : catalog_.AllTables()) {
+            if (table->heap == nullptr) continue;
+            if (table->heap->dead_versions() < 1000) continue;
+            TxnId oldest = txns_.OldestActive();
+            int64_t reclaimed = table->heap->Vacuum(oldest, txns_);
+            vacuum_runs++;
+            // Vacuum cost: scan + write back, charged as CPU + I/O.
+            if (!cpu_.Consume(reclaimed * 500)) return;
+            if (!disk_.Io(reclaimed / 64 + 1)) return;
+          }
+        }
+      },
+      /*daemon=*/true);
+  // Local deadlock detector (PostgreSQL has one built in; 1s timeout).
+  sim_->Spawn(
+      name_ + ":deadlock_check",
+      [this] {
+        while (sim_->WaitFor(sim::kSecond)) {
+          if (down_) continue;
+          auto edges = locks_.WaitEdges();
+          if (edges.empty()) continue;
+          // Find a cycle with DFS over local transactions.
+          std::map<TxnId, std::vector<TxnId>> graph;
+          for (const auto& e : edges) graph[e.waiter].push_back(e.holder);
+          std::map<TxnId, int> color;  // 0 new, 1 visiting, 2 done
+          std::vector<TxnId> stack;
+          TxnId victim = 0;
+          std::function<bool(TxnId)> dfs = [&](TxnId t) -> bool {
+            color[t] = 1;
+            stack.push_back(t);
+            for (TxnId next : graph[t]) {
+              if (color[next] == 1) {
+                // Cycle: pick the youngest (largest id) member as victim.
+                bool in_cycle = false;
+                for (TxnId s : stack) {
+                  if (s == next) in_cycle = true;
+                  if (in_cycle && s > victim) victim = s;
+                }
+                if (next > victim) victim = next;
+                return true;
+              }
+              if (color[next] == 0 && dfs(next)) return true;
+            }
+            stack.pop_back();
+            color[t] = 2;
+            return false;
+          };
+          for (const auto& [t, succ] : graph) {
+            if (color[t] == 0 && dfs(t)) break;
+          }
+          if (victim != 0) locks_.CancelWaiter(victim);
+        }
+      },
+      /*daemon=*/true);
+  for (const auto& [worker_name, fn] : hooks_.background_workers) {
+    sim_->Spawn(
+        name_ + ":" + worker_name, [this, fn] { fn(*this); },
+        /*daemon=*/true);
+  }
+}
+
+void Node::RegisterTxn(TxnId local, const std::string& dist_id) {
+  dist_id_of_txn_[local] = dist_id;
+}
+
+void Node::UnregisterTxn(TxnId local) { dist_id_of_txn_.erase(local); }
+
+const std::string& Node::DistIdOf(TxnId local) const {
+  static const std::string kEmpty;
+  auto it = dist_id_of_txn_.find(local);
+  return it == dist_id_of_txn_.end() ? kEmpty : it->second;
+}
+
+std::vector<DistributedWaitEdge> Node::DistributedWaitEdges() {
+  std::vector<DistributedWaitEdge> out;
+  for (const auto& e : locks_.WaitEdges()) {
+    DistributedWaitEdge de;
+    de.waiter_local = e.waiter;
+    de.holder_local = e.holder;
+    de.waiter_dist_id = DistIdOf(e.waiter);
+    de.holder_dist_id = DistIdOf(e.holder);
+    out.push_back(std::move(de));
+  }
+  return out;
+}
+
+bool Node::CancelDistributedTxn(const std::string& dist_id) {
+  for (const auto& [local, dist] : dist_id_of_txn_) {
+    if (dist == dist_id) {
+      if (locks_.CancelWaiter(local)) return true;
+    }
+  }
+  return false;
+}
+
+void Node::Crash() {
+  down_ = true;
+  // Non-prepared in-progress transactions abort and lose their locks;
+  // prepared transactions keep theirs across the restart (PostgreSQL
+  // persists them in the WAL).
+  for (TxnId xid : txns_.CrashRecovery()) {
+    locks_.ReleaseAll(xid);
+    UnregisterTxn(xid);
+  }
+  // Buffer cache is lost (cold restart).
+  for (TableInfo* t : catalog_.AllTables()) {
+    if (t->heap != nullptr) pool_.Forget(t->heap->object_id());
+  }
+}
+
+void Node::Restart() { down_ = false; }
+
+bool Node::WalFlush() {
+  constexpr int kGroupCommitBatch = 4;
+  wal_flushes++;
+  if (!sim_->WaitFor(cost_.wal_flush)) return false;
+  if (wal_flushes % kGroupCommitBatch == 0) {
+    if (!disk_.Io(1)) return false;
+  }
+  return true;
+}
+
+}  // namespace citusx::engine

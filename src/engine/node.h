@@ -1,0 +1,120 @@
+// A database node ("a PostgreSQL server"): catalog, storage, transactions,
+// locks, simulated hardware, extension hooks, and background workers.
+#ifndef CITUSX_ENGINE_NODE_H_
+#define CITUSX_ENGINE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/catalog.h"
+#include "engine/hooks.h"
+#include "engine/locks.h"
+#include "engine/txn.h"
+#include "sim/cost_model.h"
+#include "sim/resources.h"
+
+namespace citusx::engine {
+
+/// A wait edge annotated with distributed transaction ids, as reported to
+/// the distributed deadlock detector (paper §3.7.3).
+struct DistributedWaitEdge {
+  std::string waiter_dist_id;  // empty if purely local
+  std::string holder_dist_id;
+  TxnId waiter_local;
+  TxnId holder_local;
+};
+
+class Session;
+
+class Node {
+ public:
+  Node(sim::Simulation* sim, std::string name, const sim::CostModel& cost);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Simulation* sim() { return sim_; }
+  const sim::CostModel& cost() const { return cost_; }
+
+  sim::CpuResource& cpu() { return cpu_; }
+  sim::DiskResource& disk() { return disk_; }
+  storage::BufferPool& buffer_pool() { return pool_; }
+  Catalog& catalog() { return catalog_; }
+  TxnManager& txns() { return txns_; }
+  LockManager& locks() { return locks_; }
+  ExtensionHooks& hooks() { return hooks_; }
+
+  /// Open a local session (the net layer opens one per connection).
+  std::unique_ptr<Session> OpenSession();
+
+  /// Stored procedures (registered by workloads; CALL statements).
+  void RegisterProcedure(const std::string& name, Procedure proc) {
+    procedures_[name] = std::move(proc);
+  }
+  const Procedure* FindProcedure(const std::string& name) const {
+    auto it = procedures_.find(name);
+    return it == procedures_.end() ? nullptr : &it->second;
+  }
+
+  /// Start autovacuum and any extension background workers (daemons).
+  void StartBackgroundWorkers();
+
+  // ---- backend registry (deadlock detection & cancellation) ----
+
+  /// Associate a running local transaction with an (optional) distributed
+  /// transaction id. Called by sessions.
+  void RegisterTxn(TxnId local, const std::string& dist_id);
+  void UnregisterTxn(TxnId local);
+
+  /// The local lock wait graph with distributed ids attached.
+  std::vector<DistributedWaitEdge> DistributedWaitEdges();
+
+  /// Cancel the local transaction belonging to a distributed transaction if
+  /// it waits on a lock. Returns true if something was cancelled.
+  bool CancelDistributedTxn(const std::string& dist_id);
+
+  const std::string& DistIdOf(TxnId local) const;
+
+  // ---- failure simulation ----
+
+  bool is_down() const { return down_; }
+  /// Crash: abort in-progress transactions (prepared ones survive), drop the
+  /// buffer cache, mark the node down.
+  void Crash();
+  /// Bring the node back (recovery of prepared transactions already done by
+  /// the transaction manager's durable state).
+  void Restart();
+
+  /// WAL flush with group commit: waits the flush latency, and every
+  /// `kGroupCommitBatch`-th flush pays one disk I/O (concurrent commits on a
+  /// node share a flush). Returns false on cancellation.
+  bool WalFlush();
+
+  // ---- stats ----
+  int64_t statements_executed = 0;
+  int64_t vacuum_runs = 0;
+  int64_t wal_flushes = 0;
+
+ private:
+  sim::Simulation* sim_;
+  std::string name_;
+  sim::CostModel cost_;
+  sim::CpuResource cpu_;
+  sim::DiskResource disk_;
+  storage::BufferPool pool_;
+  Catalog catalog_;
+  TxnManager txns_;
+  LockManager locks_;
+  ExtensionHooks hooks_;
+  std::map<std::string, Procedure> procedures_;
+  std::map<TxnId, std::string> dist_id_of_txn_;
+  bool down_ = false;
+  bool workers_started_ = false;
+};
+
+}  // namespace citusx::engine
+
+#endif  // CITUSX_ENGINE_NODE_H_

@@ -1,0 +1,57 @@
+// Local query planner: binds the AST against the catalog, chooses access
+// paths (seq scan, B-tree, trigram GIN), builds join/aggregate/sort plans,
+// and provides DML execution entry points.
+#ifndef CITUSX_ENGINE_PLANNER_H_
+#define CITUSX_ENGINE_PLANNER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/exec.h"
+#include "sql/ast.h"
+
+namespace citusx::engine {
+
+struct PlannerInput {
+  Catalog* catalog = nullptr;
+  /// Names resolvable as in-memory relations (distributed intermediate
+  /// results); consulted before the catalog.
+  const std::map<std::string, const TempRelation*>* temp_relations = nullptr;
+  /// Parameters, for evaluating LIMIT/index key constants at plan time.
+  const std::vector<sql::Datum>* params = nullptr;
+};
+
+/// Plan a SELECT into an executable tree.
+Result<ExecNodePtr> PlanSelect(const sql::SelectStmt& stmt,
+                               const PlannerInput& input);
+
+/// Execute statements end-to-end (plan + run). These are what the session
+/// calls after transaction setup.
+Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
+                                  const PlannerInput& input, ExecContext& ctx);
+Result<QueryResult> ExecuteInsert(const sql::InsertStmt& stmt,
+                                  const PlannerInput& input, ExecContext& ctx);
+Result<QueryResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                  const PlannerInput& input, ExecContext& ctx);
+Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt,
+                                  const PlannerInput& input, ExecContext& ctx);
+
+/// EXPLAIN a SELECT/DML statement: plans it and returns one text row per
+/// plan line (PostgreSQL-style "QUERY PLAN" output).
+Result<QueryResult> ExplainStatement(const sql::Statement& stmt,
+                                     const PlannerInput& input);
+
+/// Split an expression into top-level AND conjuncts.
+void SplitConjuncts(const sql::ExprPtr& e, std::vector<sql::ExprPtr>* out);
+
+/// Structural expression equality (by deparse text).
+bool ExprEquals(const sql::ExprPtr& a, const sql::ExprPtr& b);
+
+/// Insert one row (already in schema order/types) with coercion, defaults
+/// applied by the caller. Exposed for COPY.
+Status CoerceRowToSchema(const sql::Schema& schema, sql::Row* row);
+
+}  // namespace citusx::engine
+
+#endif  // CITUSX_ENGINE_PLANNER_H_

@@ -1,0 +1,85 @@
+// A session ("backend"): executes SQL statements against one node with
+// PostgreSQL transaction semantics (implicit single-statement transactions,
+// explicit BEGIN/COMMIT blocks, statement-level snapshots, abort-on-error).
+#ifndef CITUSX_ENGINE_SESSION_H_
+#define CITUSX_ENGINE_SESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/exec.h"
+#include "engine/node.h"
+#include "engine/planner.h"
+
+namespace citusx::engine {
+
+class Session {
+ public:
+  explicit Session(Node* node);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Node* node() { return node_; }
+
+  /// Parse and execute one statement.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::vector<sql::Datum>& params = {});
+
+  /// Execute an already-parsed statement (used by hooks re-entering).
+  Result<QueryResult> ExecuteParsed(const sql::Statement& stmt,
+                                    const std::vector<sql::Datum>& params);
+
+  /// COPY table FROM STDIN: `rows` are pre-split text fields per row.
+  Result<QueryResult> CopyIn(const std::string& table,
+                             const std::vector<std::string>& columns,
+                             const std::vector<std::vector<std::string>>& rows);
+
+  // ---- transaction state (used by hooks and the Citus layer) ----
+
+  bool in_explicit_txn() const { return explicit_txn_; }
+  bool txn_open() const { return txn_ != storage::kInvalidTxn; }
+  TxnId current_txn() const { return txn_; }
+
+  /// Start a transaction if none is open (implicit otherwise).
+  Status EnsureTxn();
+
+  /// Session variables (SET name = value).
+  void SetVar(const std::string& name, const std::string& value);
+  std::string GetVar(const std::string& name) const;
+
+  /// An execution context bound to the current transaction, with a fresh
+  /// statement snapshot.
+  ExecContext MakeExecContext(const std::vector<sql::Datum>* params);
+
+  /// Arbitrary per-session extension state (the Citus layer hangs its
+  /// connection/transaction bookkeeping here). Destroyed with the session.
+  std::shared_ptr<void> extension_state;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Result<QueryResult> ExecuteTxnStmt(const sql::TxnStmt& stmt);
+  Result<QueryResult> ExecuteUtility(const sql::Statement& stmt);
+  Result<QueryResult> DispatchStatement(const sql::Statement& stmt,
+                                        const std::vector<sql::Datum>& params);
+  Status CommitTxn();
+  void AbortTxn();
+  /// Wrap statement execution with implicit-transaction + error semantics.
+  Result<QueryResult> RunInTxn(
+      const std::function<Result<QueryResult>()>& body);
+
+  Node* node_;
+  TxnId txn_ = storage::kInvalidTxn;
+  bool explicit_txn_ = false;
+  bool txn_aborted_ = false;
+  std::map<std::string, std::string> vars_;
+  Rng rng_;
+};
+
+}  // namespace citusx::engine
+
+#endif  // CITUSX_ENGINE_SESSION_H_

@@ -1,0 +1,91 @@
+#include "engine/txn.h"
+
+namespace citusx::engine {
+
+TxnId TxnManager::Begin() {
+  TxnId xid = states_.size();
+  states_.push_back(TxnState::kInProgress);
+  active_.insert(xid);
+  return xid;
+}
+
+void TxnManager::Commit(TxnId xid) {
+  if (xid < states_.size()) states_[xid] = TxnState::kCommitted;
+  active_.erase(xid);
+}
+
+void TxnManager::Abort(TxnId xid) {
+  if (xid < states_.size()) states_[xid] = TxnState::kAborted;
+  active_.erase(xid);
+}
+
+Status TxnManager::Prepare(TxnId xid, const std::string& gid) {
+  if (xid >= states_.size() || states_[xid] != TxnState::kInProgress) {
+    return Status::InvalidArgument("cannot prepare: transaction not active");
+  }
+  if (prepared_.count(gid) > 0) {
+    return Status::AlreadyExists("prepared transaction exists: " + gid);
+  }
+  states_[xid] = TxnState::kPrepared;
+  prepared_[gid] = PreparedTxn{gid, xid};
+  // Remains in active_ so snapshots keep treating it as in-progress.
+  return Status::OK();
+}
+
+Result<TxnId> TxnManager::CommitPrepared(const std::string& gid) {
+  auto it = prepared_.find(gid);
+  if (it == prepared_.end()) {
+    return Status::NotFound("prepared transaction does not exist: " + gid);
+  }
+  TxnId xid = it->second.xid;
+  states_[xid] = TxnState::kCommitted;
+  active_.erase(xid);
+  prepared_.erase(it);
+  return xid;
+}
+
+Result<TxnId> TxnManager::RollbackPrepared(const std::string& gid) {
+  auto it = prepared_.find(gid);
+  if (it == prepared_.end()) {
+    return Status::NotFound("prepared transaction does not exist: " + gid);
+  }
+  TxnId xid = it->second.xid;
+  states_[xid] = TxnState::kAborted;
+  active_.erase(xid);
+  prepared_.erase(it);
+  return xid;
+}
+
+std::vector<std::string> TxnManager::PreparedGids() const {
+  std::vector<std::string> out;
+  for (const auto& [gid, p] : prepared_) out.push_back(gid);
+  return out;
+}
+
+Snapshot TxnManager::TakeSnapshot(TxnId self) const {
+  Snapshot snap;
+  snap.self = self;
+  snap.xmax = states_.size();
+  snap.in_progress.assign(active_.begin(), active_.end());
+  return snap;
+}
+
+TxnId TxnManager::OldestActive() const {
+  if (active_.empty()) return states_.size();
+  return *active_.begin();
+}
+
+std::vector<TxnId> TxnManager::CrashRecovery() {
+  std::set<TxnId> prepared_xids;
+  for (const auto& [gid, p] : prepared_) prepared_xids.insert(p.xid);
+  std::vector<TxnId> aborted;
+  for (TxnId xid : std::vector<TxnId>(active_.begin(), active_.end())) {
+    if (prepared_xids.count(xid) == 0) {
+      Abort(xid);
+      aborted.push_back(xid);
+    }
+  }
+  return aborted;
+}
+
+}  // namespace citusx::engine

@@ -1,0 +1,28 @@
+#include "net/cluster.h"
+
+#include "common/str.h"
+
+namespace citusx::net {
+
+Cluster::Cluster(sim::Simulation* sim, const sim::CostModel& cost,
+                 int num_workers)
+    : sim_(sim), directory_(sim), num_workers_(num_workers) {
+  nodes_.push_back(std::make_unique<engine::Node>(sim, "coordinator", cost));
+  for (int i = 1; i <= num_workers; i++) {
+    nodes_.push_back(std::make_unique<engine::Node>(
+        sim, StrFormat("worker%d", i), cost));
+  }
+  for (auto& n : nodes_) directory_.Register(n.get());
+}
+
+std::vector<engine::Node*> Cluster::workers() {
+  std::vector<engine::Node*> out;
+  if (num_workers_ == 0) {
+    out.push_back(nodes_.front().get());  // coordinator acts as worker
+    return out;
+  }
+  for (size_t i = 1; i < nodes_.size(); i++) out.push_back(nodes_[i].get());
+  return out;
+}
+
+}  // namespace citusx::net

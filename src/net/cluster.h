@@ -1,0 +1,84 @@
+// Cluster assembly: node directory (name -> Node), connection gates, and a
+// helper that builds the paper's benchmark topologies (PostgreSQL,
+// Citus 0+1, Citus 4+1, Citus 8+1).
+#ifndef CITUSX_NET_CLUSTER_H_
+#define CITUSX_NET_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/connection.h"
+
+namespace citusx::net {
+
+/// Resolves node names to live nodes (the DNS / connection-string layer).
+class NodeDirectory {
+ public:
+  explicit NodeDirectory(sim::Simulation* sim) : sim_(sim) {}
+
+  void Register(engine::Node* node) {
+    nodes_[node->name()] = node;
+    gates_.emplace(node->name(),
+                   std::make_unique<ConnectionGate>(
+                       sim_, node->cost().max_connections));
+  }
+
+  engine::Node* Find(const std::string& name) const {
+    auto it = nodes_.find(name);
+    return it == nodes_.end() ? nullptr : it->second;
+  }
+
+  ConnectionGate* GateFor(const std::string& name) const {
+    auto it = gates_.find(name);
+    return it == gates_.end() ? nullptr : it->second.get();
+  }
+
+  /// Open a connection from `client` (nullable) to the node called `name`.
+  Result<std::unique_ptr<Connection>> Connect(engine::Node* client,
+                                              const std::string& name) {
+    engine::Node* server = Find(name);
+    if (server == nullptr) {
+      return Status::NotFound("unknown node: " + name);
+    }
+    return Connection::Open(sim_, client, server, GateFor(name));
+  }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    for (const auto& [n, node] : nodes_) out.push_back(n);
+    return out;
+  }
+
+ private:
+  sim::Simulation* sim_;
+  std::map<std::string, engine::Node*> nodes_;
+  std::map<std::string, std::unique_ptr<ConnectionGate>> gates_;
+};
+
+/// Owns a set of nodes forming one deployment.
+class Cluster {
+ public:
+  /// Build `1 + num_workers` nodes named "coordinator", "worker1", ... .
+  /// With num_workers == 0 the coordinator doubles as the only worker
+  /// (the paper's "Citus 0+1" configuration).
+  Cluster(sim::Simulation* sim, const sim::CostModel& cost, int num_workers);
+
+  engine::Node* coordinator() { return nodes_.front().get(); }
+  std::vector<engine::Node*> workers();
+  engine::Node* node(size_t i) { return nodes_[i].get(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  NodeDirectory& directory() { return directory_; }
+  sim::Simulation* sim() { return sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  NodeDirectory directory_;
+  std::vector<std::unique_ptr<engine::Node>> nodes_;
+  int num_workers_;
+};
+
+}  // namespace citusx::net
+
+#endif  // CITUSX_NET_CLUSTER_H_

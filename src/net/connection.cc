@@ -1,0 +1,174 @@
+#include "net/connection.h"
+
+namespace citusx::net {
+
+int64_t ResultWireBytes(const engine::QueryResult& result) {
+  int64_t bytes = 64;
+  for (const auto& row : result.rows) {
+    bytes += 8;
+    for (const auto& d : row) bytes += d.PhysicalSize();
+  }
+  return bytes;
+}
+
+Connection::Connection(sim::Simulation* sim, engine::Node* client,
+                       engine::Node* server, ConnectionGate* gate)
+    : sim_(sim),
+      client_(client),
+      server_(server),
+      gate_(gate),
+      requests_(std::make_shared<sim::Channel<Request>>(sim)),
+      responses_(std::make_shared<sim::Channel<Response>>(sim)) {}
+
+sim::Time Connection::HalfRtt() const {
+  // Loopback connections (coordinator acting as worker) are much faster.
+  if (client_ == server_) return 25 * sim::kMicrosecond;
+  return server_->cost().net_rtt / 2;
+}
+
+Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
+                                                     engine::Node* client,
+                                                     engine::Node* server,
+                                                     ConnectionGate* gate) {
+  if (server->is_down()) {
+    return Status::Unavailable("could not connect: " + server->name() +
+                               " is down");
+  }
+  if (gate != nullptr && !gate->TryAdmit()) {
+    return Status::ResourceExhausted(
+        "FATAL: sorry, too many clients already (" + server->name() + ")");
+  }
+  auto conn = std::unique_ptr<Connection>(
+      new Connection(sim, client, server, gate));
+  // Establishment: RTT handshakes + backend process fork on the server.
+  if (!sim->WaitFor(server->cost().connect_cost +
+                    (client == server ? 50 * sim::kMicrosecond
+                                      : server->cost().net_rtt))) {
+    return Status::Cancelled("simulation stopping");
+  }
+  if (!server->cpu().Consume(500 * sim::kMicrosecond)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  // The backend process serving this connection. It shares ownership of the
+  // channels: the client handle may be destroyed while the backend is still
+  // draining (PostgreSQL backends also outlive the socket briefly).
+  auto requests = conn->requests_;
+  auto responses = conn->responses_;
+  sim->Spawn(
+      server->name() + ":backend",
+      [requests, responses, server] {
+        auto session = server->OpenSession();
+        for (;;) {
+          auto req = requests->Receive();
+          if (!req.has_value()) break;  // connection closed
+          Response resp;
+          if (server->is_down()) {
+            resp.status = Status::Unavailable(server->name() + " is down");
+          } else if (!req->batch.empty()) {
+            for (const auto& sql : req->batch) {
+              Result<engine::QueryResult> r = session->Execute(sql);
+              if (!r.ok()) {
+                resp.status = r.status();
+                break;
+              }
+              resp.result = std::move(r).value();
+            }
+          } else {
+            Result<engine::QueryResult> r =
+                req->kind == Request::Kind::kQuery
+                    ? session->Execute(req->sql, req->params)
+                    : session->CopyIn(req->copy_table, req->copy_columns,
+                                      req->copy_rows);
+            if (r.ok()) {
+              resp.result = std::move(r).value();
+            } else {
+              resp.status = r.status();
+            }
+          }
+          responses->Send(std::move(resp));
+        }
+      },
+      /*daemon=*/true);
+  return conn;
+}
+
+Result<engine::QueryResult> Connection::RoundTrip(Request req) {
+  if (closed_) return Status::Internal("connection is closed");
+  if (server_->is_down()) {
+    return Status::Unavailable(server_->name() + " is down");
+  }
+  // Outbound latency plus bandwidth for COPY payloads.
+  int64_t out_bytes = static_cast<int64_t>(req.sql.size());
+  for (const auto& row : req.copy_rows) {
+    for (const auto& f : row) out_bytes += static_cast<int64_t>(f.size()) + 1;
+  }
+  sim::Time bw = out_bytes * sim::kSecond / server_->cost().net_bytes_per_second;
+  if (!sim_->WaitFor(HalfRtt() + bw)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  requests_->Send(std::move(req));
+  auto resp = responses_->Receive();
+  if (!resp.has_value()) return Status::Cancelled("connection torn down");
+  // Inbound latency plus result bandwidth plus client-side deserialization.
+  int64_t in_bytes = ResultWireBytes(resp->result);
+  sim::Time in_bw = in_bytes * sim::kSecond /
+                    server_->cost().net_bytes_per_second;
+  if (!sim_->WaitFor(HalfRtt() + in_bw)) {
+    return Status::Cancelled("simulation stopping");
+  }
+  if (client_ != nullptr) {
+    if (!client_->cpu().Consume(resp->result.NumRows() *
+                                client_->cost().cpu_per_row_net)) {
+      return Status::Cancelled("simulation stopping");
+    }
+  }
+  if (!resp->status.ok()) return resp->status;
+  return std::move(resp->result);
+}
+
+Result<engine::QueryResult> Connection::QueryBatch(
+    std::vector<std::string> statements) {
+  Request req;
+  req.kind = Request::Kind::kQuery;
+  for (const auto& s : statements) req.sql += s + "; ";
+  req.batch = std::move(statements);
+  return RoundTrip(std::move(req));
+}
+
+Result<engine::QueryResult> Connection::Query(const std::string& sql) {
+  Request req;
+  req.kind = Request::Kind::kQuery;
+  req.sql = sql;
+  return RoundTrip(std::move(req));
+}
+
+Result<engine::QueryResult> Connection::Query(
+    const std::string& sql, const std::vector<sql::Datum>& params) {
+  Request req;
+  req.kind = Request::Kind::kQuery;
+  req.sql = sql;
+  req.params = params;
+  return RoundTrip(std::move(req));
+}
+
+Result<engine::QueryResult> Connection::CopyIn(
+    const std::string& table, const std::vector<std::string>& columns,
+    std::vector<std::vector<std::string>> rows) {
+  Request req;
+  req.kind = Request::Kind::kCopy;
+  req.copy_table = table;
+  req.copy_columns = columns;
+  req.copy_rows = std::move(rows);
+  return RoundTrip(std::move(req));
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  closed_ = true;
+  requests_->Close();
+  if (gate_ != nullptr) gate_->Release();
+}
+
+Connection::~Connection() { Close(); }
+
+}  // namespace citusx::net

@@ -1,0 +1,111 @@
+// Simulated network connections carrying SQL text between nodes, with RTT,
+// bandwidth, connection-establishment cost, and per-node connection limits.
+//
+// Each open connection is backed by a dedicated server-side session process
+// on the target node (PostgreSQL's process-per-connection model), which is
+// what makes connection scaling a real phenomenon in the simulation (§3.2.1).
+#ifndef CITUSX_NET_CONNECTION_H_
+#define CITUSX_NET_CONNECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/node.h"
+#include "engine/session.h"
+#include "sim/channel.h"
+
+namespace citusx::net {
+
+/// Per-node connection bookkeeping (max_connections enforcement).
+class ConnectionGate {
+ public:
+  ConnectionGate(sim::Simulation* sim, int max_connections)
+      : slots_(sim, max_connections) {}
+
+  bool TryAdmit() { return slots_.TryAcquire(); }
+  void Release() { slots_.Release(); }
+  int64_t in_use() const { return slots_.capacity() - slots_.available(); }
+  int64_t capacity() const { return slots_.capacity(); }
+
+ private:
+  sim::Semaphore slots_;
+};
+
+/// A client handle to a SQL connection. Create with Connection::Open; all
+/// methods must be called from a simulated process. Not thread-safe across
+/// simulated processes (one in-flight request at a time, like libpq).
+class Connection {
+ public:
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Establish a connection to `server`. Charges connection-establishment
+  /// cost and a round trip; fails with ResourceExhausted when the server is
+  /// out of connection slots, Unavailable when it is down.
+  /// `client` may be null (external driver machine with free CPU).
+  static Result<std::unique_ptr<Connection>> Open(sim::Simulation* sim,
+                                                  engine::Node* client,
+                                                  engine::Node* server,
+                                                  ConnectionGate* gate);
+
+  /// Run one SQL statement and wait for the result.
+  Result<engine::QueryResult> Query(const std::string& sql);
+  Result<engine::QueryResult> Query(const std::string& sql,
+                                    const std::vector<sql::Datum>& params);
+
+  /// Run several statements in one round trip (libpq-style simple-protocol
+  /// batching); returns the last statement's result, or the first error.
+  Result<engine::QueryResult> QueryBatch(std::vector<std::string> statements);
+
+  /// COPY rows into a table over this connection.
+  Result<engine::QueryResult> CopyIn(
+      const std::string& table, const std::vector<std::string>& columns,
+      std::vector<std::vector<std::string>> rows);
+
+  void Close();
+
+  engine::Node* server() const { return server_; }
+  bool closed() const { return closed_; }
+
+ private:
+  struct Request {
+    enum class Kind { kQuery, kCopy };
+    Kind kind = Kind::kQuery;
+    std::string sql;
+    std::vector<std::string> batch;  // when non-empty, run all, return last
+    std::vector<sql::Datum> params;
+    std::string copy_table;
+    std::vector<std::string> copy_columns;
+    std::vector<std::vector<std::string>> copy_rows;
+  };
+  struct Response {
+    Status status;
+    engine::QueryResult result;
+  };
+
+  Connection(sim::Simulation* sim, engine::Node* client, engine::Node* server,
+             ConnectionGate* gate);
+
+  Result<engine::QueryResult> RoundTrip(Request req);
+  sim::Time HalfRtt() const;
+
+  sim::Simulation* sim_;
+  engine::Node* client_;
+  engine::Node* server_;
+  ConnectionGate* gate_;
+  // Shared with the server-side backend process, which may outlive this
+  // client handle briefly after Close().
+  std::shared_ptr<sim::Channel<Request>> requests_;
+  std::shared_ptr<sim::Channel<Response>> responses_;
+  bool closed_ = false;
+};
+
+/// Estimated wire size of a query result (for bandwidth charging).
+int64_t ResultWireBytes(const engine::QueryResult& result);
+
+}  // namespace citusx::net
+
+#endif  // CITUSX_NET_CONNECTION_H_

@@ -1,0 +1,72 @@
+// The calibrated cost model: all virtual-time charges in the engine flow
+// through these constants. Values are order-of-magnitude calibrated against
+// PostgreSQL 13 on the paper's hardware (16 vcpu Azure VMs, network-attached
+// disks with 7500 IOPS); ablation benches vary them.
+#ifndef CITUSX_SIM_COST_MODEL_H_
+#define CITUSX_SIM_COST_MODEL_H_
+
+#include "sim/simulation.h"
+
+namespace citusx::sim {
+
+struct CostModel {
+  // ---- per-node hardware (paper §4: 16 vcpus, 64 GB, 7500 IOPS) ----
+  int cores_per_node = 16;
+  int64_t disk_iops = 7500;
+  int disk_queue_depth = 8;
+  int64_t buffer_pool_bytes = 64LL << 20;  // scaled-down "RAM" per node
+  int64_t page_bytes = 8192;
+
+  // ---- network ----
+  Time net_rtt = 500 * kMicrosecond;        // same-region VM round trip
+  Time connect_cost = 5 * kMillisecond;     // process fork + auth + TLS
+  int64_t net_bytes_per_second = 1LL << 30; // 1 GB/s NIC
+  int max_connections = 300;                // per node
+
+  // ---- CPU costs (single core) ----
+  Time parse_per_char = 20;                 // 20ns/char lex+parse
+  Time plan_local = 60 * kMicrosecond;      // local planner
+  Time plan_fast_path = 20 * kMicrosecond;  // Citus fast-path planner (§3.5)
+  Time plan_router = 60 * kMicrosecond;
+  Time plan_pushdown = 200 * kMicrosecond;
+  Time plan_join_order = 1 * kMillisecond;
+  Time executor_startup = 20 * kMicrosecond;
+
+  Time cpu_per_row_scan = 100;              // evaluate visibility + fetch
+  Time cpu_per_expr_eval = 60;              // per WHERE/projection expr, per row
+  Time cpu_per_row_sort = 250;
+  Time cpu_per_row_hash = 150;              // group-by / hash-join probe
+  Time cpu_per_row_insert = 800;            // heap insert incl. WAL record
+  Time cpu_per_index_insert = 1200;         // per index entry
+  Time cpu_per_index_lookup = 4 * kMicrosecond;
+  Time cpu_per_row_copy_parse = 500;        // COPY framing per row
+  // COPY field parsing is charged per byte (parse_per_char) as well; JSON
+  // documents make rows hundreds of bytes wide.
+  Time cpu_per_gin_recheck = 25 * kMicrosecond;  // JSONB re-evaluation per
+                                                 // index candidate
+  Time cpu_per_trgm_insert = 300;           // per trigram posting update
+  Time cpu_per_row_net = 200;               // serialize/deserialize tuple
+
+  // ---- transactions ----
+  Time wal_flush = 400 * kMicrosecond;      // commit record fsync (group-commit
+                                            // amortized on network disk)
+  Time cpu_commit = 30 * kMicrosecond;
+
+  // ---- maintenance ----
+  Time deadlock_poll_interval = 2 * kSecond;      // paper §3.7.3
+  Time recovery_poll_interval = 30 * kSecond;     // 2PC recovery daemon
+  Time executor_slow_start_interval = 10 * kMillisecond;  // paper §3.6.1
+
+  /// Rows are charged in batches to bound event count.
+  int64_t cpu_charge_batch_rows = 4096;
+};
+
+/// The default calibration used by benches unless overridden.
+inline const CostModel& DefaultCostModel() {
+  static const CostModel kModel;
+  return kModel;
+}
+
+}  // namespace citusx::sim
+
+#endif  // CITUSX_SIM_COST_MODEL_H_

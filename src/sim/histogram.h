@@ -1,0 +1,90 @@
+// Log-bucketed latency histogram for benchmark reporting.
+#ifndef CITUSX_SIM_HISTOGRAM_H_
+#define CITUSX_SIM_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cmath>
+
+namespace citusx::sim {
+
+/// Records int64 values (typically nanoseconds) into logarithmic buckets:
+/// 64 powers of two, 16 linear sub-buckets each. Percentile error < ~6%.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    count_++;
+    sum_ += value;
+    max_ = std::max(max_, value);
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    buckets_[BucketFor(value)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    if (other.count_ > 0) {
+      min_ = count_ == other.count_ ? other.min_ : std::min(min_, other.min_);
+    }
+    for (int i = 0; i < kBuckets; i++) buckets_[i] += other.buckets_[i];
+  }
+
+  void Reset() { *this = Histogram(); }
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t max() const { return max_; }
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Value at percentile p in [0, 100]. Returns the bucket upper bound.
+  int64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    int64_t target = static_cast<int64_t>(
+        std::ceil(static_cast<double>(count_) * p / 100.0));
+    if (target < 1) target = 1;
+    int64_t seen = 0;
+    for (int i = 0; i < kBuckets; i++) {
+      seen += buckets_[i];
+      if (seen >= target) return BucketUpperBound(i);
+    }
+    return max_;
+  }
+
+ private:
+  static int BucketFor(int64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    int msb = 63 - __builtin_clzll(static_cast<uint64_t>(v));
+    int shift = msb - 4;  // log2(kSubBuckets)
+    int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    int idx = (msb - 3) * kSubBuckets + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static int64_t BucketUpperBound(int i) {
+    if (i < kSubBuckets) return i;
+    int group = i / kSubBuckets + 3;
+    int sub = i % kSubBuckets;
+    int shift = group - 4;
+    return ((int64_t{16} + sub + 1) << shift) - 1;
+  }
+
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+  int64_t min_ = 0;
+  std::array<int64_t, kBuckets> buckets_{};
+};
+
+}  // namespace citusx::sim
+
+#endif  // CITUSX_SIM_HISTOGRAM_H_

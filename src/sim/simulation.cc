@@ -1,0 +1,188 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace citusx::sim {
+
+namespace {
+thread_local Process* g_current_process = nullptr;
+}  // namespace
+
+Process* Simulation::Current() { return g_current_process; }
+
+Simulation::~Simulation() { Shutdown(); }
+
+Time Simulation::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+Process* Simulation::Spawn(std::string name, std::function<void()> fn,
+                           bool daemon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(!shutdown_done_ && "Spawn after Shutdown");
+  // Reap finished processes: their threads have exited (or are about to);
+  // joining here bounds thread and memory usage for workloads that spawn a
+  // process per operation (parallel 2PC phases, executor runners).
+  for (auto it = processes_.begin(); it != processes_.end();) {
+    Process* p = it->get();
+    if (p->state_ == Process::State::kDone && p->thread_.joinable()) {
+      p->thread_.join();
+      it = processes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto owned = std::unique_ptr<Process>(
+      new Process(this, next_id_++, std::move(name), daemon));
+  Process* p = owned.get();
+  processes_.push_back(std::move(owned));
+  EnqueueLocked(p, now_);
+  p->thread_ = std::thread([this, p, fn = std::move(fn)]() mutable {
+    ProcessMain(p, std::move(fn));
+  });
+  return p;
+}
+
+void Simulation::ProcessMain(Process* p, std::function<void()> fn) {
+  g_current_process = p;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_ != p) p->cv_.wait(lock);
+  }
+  if (!p->cancelled_) fn();
+  // Process exit: hand the baton onward.
+  std::unique_lock<std::mutex> lock(mu_);
+  p->state_ = Process::State::kDone;
+  running_ = nullptr;
+  bool stop_dispatch = !stopping_ && AllWorkersDoneLocked();
+  if (stop_dispatch || !DispatchNextLocked()) driver_cv_.notify_all();
+}
+
+void Simulation::EnqueueLocked(Process* p, Time t) {
+  assert(t >= now_);
+  events_.push(Event{t, next_seq_++, p});
+}
+
+bool Simulation::AllWorkersDoneLocked() const {
+  for (const auto& p : processes_) {
+    if (!p->daemon_ && p->state_ != Process::State::kDone) return false;
+  }
+  return true;
+}
+
+bool Simulation::DispatchNextLocked() {
+  if (events_.empty()) return false;
+  Event e = events_.top();
+  events_.pop();
+  events_processed_++;
+  if (e.time > now_) now_ = e.time;
+  running_ = e.process;
+  e.process->state_ = Process::State::kRunning;
+  e.process->cv_.notify_one();
+  return true;
+}
+
+bool Simulation::YieldLocked(std::unique_lock<std::mutex>& lock,
+                             Process* self) {
+  running_ = nullptr;
+  bool stop_dispatch = !stopping_ && AllWorkersDoneLocked();
+  if (stop_dispatch || !DispatchNextLocked()) driver_cv_.notify_all();
+  while (running_ != self) self->cv_.wait(lock);
+  self->state_ = Process::State::kRunning;
+  return !self->cancelled_;
+}
+
+bool Simulation::WaitUntil(Time t) {
+  Process* self = Current();
+  assert(self != nullptr && "WaitUntil outside a simulated process");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (self->cancelled_) return false;
+  self->state_ = Process::State::kReady;
+  EnqueueLocked(self, t < now_ ? now_ : t);
+  return YieldLocked(lock, self);
+}
+
+bool Simulation::WaitFor(Time d) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Process* self = Current();
+  assert(self != nullptr && "WaitFor outside a simulated process");
+  if (self->cancelled_) return false;
+  self->state_ = Process::State::kReady;
+  EnqueueLocked(self, now_ + (d < 0 ? 0 : d));
+  return YieldLocked(lock, self);
+}
+
+bool Simulation::Block() {
+  Process* self = Current();
+  assert(self != nullptr && "Block outside a simulated process");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (self->cancelled_) return false;
+  self->state_ = Process::State::kBlocked;
+  return YieldLocked(lock, self);
+}
+
+void Simulation::Wake(Process* p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (p->state_ != Process::State::kBlocked) return;
+  p->state_ = Process::State::kReady;
+  EnqueueLocked(p, now_);
+}
+
+void Simulation::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (running_ == nullptr) {
+      if (AllWorkersDoneLocked()) return;
+      if (!DispatchNextLocked()) {
+        // Nothing runnable but workers not done: simulated deadlock.
+        int blocked = 0;
+        for (const auto& p : processes_) {
+          if (!p->daemon_ && p->state_ == Process::State::kBlocked) blocked++;
+        }
+        if (blocked > 0) {
+          std::fprintf(stderr,
+                       "[sim] Run() returning with %d blocked worker(s) -- "
+                       "simulated deadlock\n",
+                       blocked);
+        }
+        return;
+      }
+    }
+    driver_cv_.wait(lock);
+  }
+}
+
+void Simulation::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_done_) return;
+  stopping_ = true;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::kDone) continue;
+    p->cancelled_ = true;
+    if (p->state_ == Process::State::kBlocked) {
+      p->state_ = Process::State::kReady;
+      EnqueueLocked(p.get(), now_);
+    }
+  }
+  for (;;) {
+    bool all_done = true;
+    for (const auto& p : processes_) {
+      if (p->state_ != Process::State::kDone) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    if (running_ == nullptr && !DispatchNextLocked()) break;
+    driver_cv_.wait(lock);
+  }
+  lock.unlock();
+  for (const auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+  shutdown_done_ = true;
+}
+
+}  // namespace citusx::sim

@@ -1,0 +1,163 @@
+// Discrete-event simulation kernel.
+//
+// citusx executes real database logic (real parsing, planning, locking, 2PC,
+// real rows) but accounts *time* virtually, so a 9-node cluster with 16-core
+// nodes and IOPS-limited disks can be modelled faithfully on a 1-core host and
+// benchmarks are deterministic.
+//
+// Model: simulated processes are OS threads, but exactly one runs at a time;
+// control is handed directly from the yielding process to the next scheduled
+// one ("pass the baton"). Processes block either by scheduling a timer event
+// for themselves (WaitFor / WaitUntil) or by parking until another process
+// wakes them (Wake). All ordering ties are broken by a monotonically
+// increasing sequence number, so runs are fully deterministic.
+#ifndef CITUSX_SIM_SIMULATION_H_
+#define CITUSX_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace citusx::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = int64_t;
+
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+class Simulation;
+
+/// One simulated thread of control. Created via Simulation::Spawn; the body
+/// runs on a dedicated OS thread but only while it holds the baton.
+class Process {
+ public:
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  const std::string& name() const { return name_; }
+  uint64_t id() const { return id_; }
+  bool cancelled() const { return cancelled_; }
+  bool daemon() const { return daemon_; }
+
+ private:
+  friend class Simulation;
+
+  Process(Simulation* sim, uint64_t id, std::string name, bool daemon)
+      : sim_(sim), id_(id), name_(std::move(name)), daemon_(daemon) {}
+
+  Simulation* sim_;
+  uint64_t id_;
+  std::string name_;
+  bool daemon_;
+  State state_ = State::kReady;
+  bool cancelled_ = false;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+/// The simulation: virtual clock, event queue, process registry.
+///
+/// Typical use:
+///   Simulation sim;
+///   sim.Spawn("client", [&] { ... sim.WaitFor(10 * kMillisecond); ... });
+///   sim.Run();        // returns when all non-daemon processes finish
+///   sim.Shutdown();   // cancels daemons and joins all threads
+class Simulation {
+ public:
+  Simulation() = default;
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time. Callable from anywhere.
+  Time now() const;
+
+  /// Create a process scheduled to start at the current virtual time.
+  /// Daemon processes do not keep Run() alive.
+  Process* Spawn(std::string name, std::function<void()> fn,
+                 bool daemon = false);
+
+  /// Drive the simulation until every non-daemon process has finished (or
+  /// nothing is runnable). Must be called from the driving (non-sim) thread.
+  void Run();
+
+  /// Cancel all live processes, drain them, and join their threads.
+  /// After Shutdown the simulation can no longer spawn processes.
+  void Shutdown();
+
+  /// True once Shutdown has begun; long-running loops should exit.
+  bool stopping() const { return stopping_; }
+
+  // ---- Calls below are only valid from within a simulated process. ----
+
+  /// Sleep until virtual time `t`. Returns false if cancelled.
+  bool WaitUntil(Time t);
+
+  /// Sleep for `d` virtual nanoseconds. Returns false if cancelled.
+  bool WaitFor(Time d);
+
+  /// Park the calling process until another process calls Wake on it.
+  /// Returns false if cancelled instead of woken.
+  bool Block();
+
+  /// Make a parked process runnable at the current virtual time.
+  /// May be called from a running process or (between Run calls) externally.
+  void Wake(Process* p);
+
+  /// The process currently holding the baton on this thread (null on the
+  /// driving thread).
+  static Process* Current();
+
+  /// Number of events processed so far (for tests/diagnostics).
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    Process* process;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Pre: lock held, caller is the running process and has either enqueued
+  // itself or set its state to kBlocked. Hands the baton to the next event's
+  // process (or the driving thread) and waits until this process runs again.
+  // Returns false if the process was cancelled.
+  bool YieldLocked(std::unique_lock<std::mutex>& lock, Process* self);
+
+  // Pre: lock held, running_ == nullptr. Pops the next event and hands the
+  // baton to its process. Returns false if the queue is empty.
+  bool DispatchNextLocked();
+
+  void EnqueueLocked(Process* p, Time t);
+  bool AllWorkersDoneLocked() const;
+
+  void ProcessMain(Process* p, std::function<void()> fn);
+
+  mutable std::mutex mu_;
+  std::condition_variable driver_cv_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* running_ = nullptr;
+  bool stopping_ = false;
+  bool shutdown_done_ = false;
+};
+
+}  // namespace citusx::sim
+
+#endif  // CITUSX_SIM_SIMULATION_H_

@@ -1,0 +1,392 @@
+#include "sql/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/str.h"
+
+namespace citusx::sql {
+
+JsonPtr Json::MakeArray(std::vector<JsonPtr> items) {
+  auto j = std::make_shared<Json>();
+  j->kind_ = Kind::kArray;
+  j->array_ = std::move(items);
+  return j;
+}
+
+JsonPtr Json::MakeObject(std::vector<std::pair<std::string, JsonPtr>> kv) {
+  auto j = std::make_shared<Json>();
+  j->kind_ = Kind::kObject;
+  j->object_ = std::move(kv);
+  return j;
+}
+
+JsonPtr Json::GetField(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return nullptr;
+}
+
+JsonPtr Json::GetElement(int64_t index) const {
+  if (kind_ != Kind::kArray) return nullptr;
+  if (index < 0 || index >= static_cast<int64_t>(array_.size())) return nullptr;
+  return array_[static_cast<size_t>(index)];
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void Serialize(const Json& j, std::string* out) {
+  switch (j.kind()) {
+    case Json::Kind::kNull:
+      *out += "null";
+      break;
+    case Json::Kind::kBool:
+      *out += j.bool_value() ? "true" : "false";
+      break;
+    case Json::Kind::kNumber: {
+      double n = j.number_value();
+      if (n == std::floor(n) && std::abs(n) < 1e15) {
+        *out += StrFormat("%lld", static_cast<long long>(n));
+      } else {
+        *out += StrFormat("%.17g", n);
+      }
+      break;
+    }
+    case Json::Kind::kString:
+      AppendEscaped(j.string_value(), out);
+      break;
+    case Json::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& item : j.array_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        Serialize(*item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Json::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : j.object_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(k, out);
+        out->push_back(':');
+        Serialize(*v, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Result<JsonPtr> Parse() {
+    SkipWs();
+    CITUSX_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("trailing characters in JSON");
+    }
+    return v;
+  }
+
+ private:
+  Result<JsonPtr> ParseValue() {
+    if (pos_ >= s_.size()) return Status::InvalidArgument("unexpected end of JSON");
+    char c = s_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        CITUSX_ASSIGN_OR_RETURN(std::string str, ParseString());
+        return Json::MakeString(std::move(str));
+      }
+      case 't':
+        if (s_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return Json::MakeBool(true);
+        }
+        break;
+      case 'f':
+        if (s_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return Json::MakeBool(false);
+        }
+        break;
+      case 'n':
+        if (s_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return Json::MakeNull();
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    }
+    return Status::InvalidArgument(StrFormat("bad JSON at offset %zu", pos_));
+  }
+
+  Result<JsonPtr> ParseObject() {
+    pos_++;  // '{'
+    std::vector<std::pair<std::string, JsonPtr>> kv;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      pos_++;
+      return Json::MakeObject(std::move(kv));
+    }
+    for (;;) {
+      SkipWs();
+      CITUSX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return Status::InvalidArgument("expected ':' in JSON object");
+      }
+      pos_++;
+      SkipWs();
+      CITUSX_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
+      kv.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        pos_++;
+        return Json::MakeObject(std::move(kv));
+      }
+      return Status::InvalidArgument("expected ',' or '}' in JSON object");
+    }
+  }
+
+  Result<JsonPtr> ParseArray() {
+    pos_++;  // '['
+    std::vector<JsonPtr> items;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      pos_++;
+      return Json::MakeArray(std::move(items));
+    }
+    for (;;) {
+      SkipWs();
+      CITUSX_ASSIGN_OR_RETURN(JsonPtr v, ParseValue());
+      items.push_back(std::move(v));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        pos_++;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        pos_++;
+        return Json::MakeArray(std::move(items));
+      }
+      return Status::InvalidArgument("expected ',' or ']' in JSON array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return Status::InvalidArgument("expected string in JSON");
+    }
+    pos_++;
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\' && pos_ < s_.size()) {
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'u': {
+            // Keep it simple: decode BMP escapes to '?' placeholders unless
+            // ASCII.
+            if (pos_ + 4 <= s_.size()) {
+              int code = 0;
+              for (int i = 0; i < 4; i++) {
+                char h = s_[pos_ + static_cast<size_t>(i)];
+                code = code * 16 +
+                       (h >= '0' && h <= '9'   ? h - '0'
+                        : h >= 'a' && h <= 'f' ? h - 'a' + 10
+                        : h >= 'A' && h <= 'F' ? h - 'A' + 10
+                                               : 0);
+              }
+              pos_ += 4;
+              if (code < 128) {
+                out.push_back(static_cast<char>(code));
+              } else {
+                out.push_back('?');
+              }
+            }
+            break;
+          }
+          default:
+            out.push_back(e);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::InvalidArgument("unterminated JSON string");
+  }
+
+  Result<JsonPtr> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') pos_++;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      pos_++;
+    }
+    double v = 0;
+    try {
+      v = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return Status::InvalidArgument("bad JSON number");
+    }
+    return Json::MakeNumber(v);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::ToString() const {
+  std::string out;
+  Serialize(*this, &out);
+  return out;
+}
+
+int64_t Json::SerializedSize() const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kBool:
+      return 5;
+    case Kind::kNumber:
+      return 8;
+    case Kind::kString:
+      return static_cast<int64_t>(string_.size()) + 2;
+    case Kind::kArray: {
+      int64_t n = 2;
+      for (const auto& i : array_) n += i->SerializedSize() + 1;
+      return n;
+    }
+    case Kind::kObject: {
+      int64_t n = 2;
+      for (const auto& [k, v] : object_) {
+        n += static_cast<int64_t>(k.size()) + 4 + v->SerializedSize();
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+Result<JsonPtr> Json::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+std::vector<JsonPtr> Json::PathQuery(const JsonPtr& root,
+                                     const std::string& path) {
+  std::vector<JsonPtr> current;
+  if (root == nullptr) return current;
+  current.push_back(root);
+  size_t pos = 0;
+  if (pos < path.size() && path[pos] == '$') pos++;
+  while (pos < path.size()) {
+    std::vector<JsonPtr> next;
+    if (path[pos] == '.') {
+      pos++;
+      size_t start = pos;
+      while (pos < path.size() && path[pos] != '.' && path[pos] != '[') pos++;
+      std::string field = path.substr(start, pos - start);
+      for (const auto& j : current) {
+        JsonPtr f = j->GetField(field);
+        if (f != nullptr) next.push_back(f);
+      }
+    } else if (path[pos] == '[') {
+      pos++;
+      if (pos < path.size() && path[pos] == '*') {
+        pos++;
+        for (const auto& j : current) {
+          if (j->kind() == Kind::kArray) {
+            for (const auto& item : j->array_items()) next.push_back(item);
+          }
+        }
+      } else {
+        size_t start = pos;
+        while (pos < path.size() && path[pos] != ']') pos++;
+        int64_t idx = 0;
+        try {
+          idx = std::stoll(path.substr(start, pos - start));
+        } catch (...) {
+          return {};
+        }
+        for (const auto& j : current) {
+          JsonPtr e = j->GetElement(idx);
+          if (e != nullptr) next.push_back(e);
+        }
+      }
+      if (pos < path.size() && path[pos] == ']') pos++;
+    } else {
+      return {};  // malformed path
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace citusx::sql

@@ -1,0 +1,81 @@
+// A minimal JSON value type backing the JSONB SQL type, with the operators
+// used by the paper's real-time analytics workload (->, ->>,
+// jsonb_array_length, jsonb_path_query_array).
+#ifndef CITUSX_SQL_JSON_H_
+#define CITUSX_SQL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace citusx::sql {
+
+/// Immutable-after-construction JSON value tree.
+class Json;
+using JsonPtr = std::shared_ptr<const Json>;
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  explicit Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Json(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonPtr MakeNull() { return std::make_shared<Json>(); }
+  static JsonPtr MakeBool(bool b) { return std::make_shared<Json>(b); }
+  static JsonPtr MakeNumber(double n) { return std::make_shared<Json>(n); }
+  static JsonPtr MakeString(std::string s) {
+    return std::make_shared<Json>(std::move(s));
+  }
+  static JsonPtr MakeArray(std::vector<JsonPtr> items);
+  static JsonPtr MakeObject(std::vector<std::pair<std::string, JsonPtr>> kv);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonPtr>& array_items() const { return array_; }
+
+  /// Object field lookup; returns null pointer if absent.
+  JsonPtr GetField(const std::string& key) const;
+  /// Array element; returns null pointer if out of range.
+  JsonPtr GetElement(int64_t index) const;
+
+  int64_t array_size() const { return static_cast<int64_t>(array_.size()); }
+  const std::vector<std::pair<std::string, JsonPtr>>& object_items() const {
+    return object_;
+  }
+
+  /// Compact serialization (keys in insertion order).
+  std::string ToString() const;
+
+  /// Approximate serialized size in bytes (for block accounting).
+  int64_t SerializedSize() const;
+
+  /// Parse JSON text.
+  static Result<JsonPtr> Parse(const std::string& text);
+
+  /// Evaluate a JSONPath subset: $.a.b[*].c / $.a[0].b. Returns all matches.
+  /// Supports: field access, [n] index, [*] wildcard over arrays.
+  static std::vector<JsonPtr> PathQuery(const JsonPtr& root,
+                                        const std::string& path);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonPtr> array_;
+  std::vector<std::pair<std::string, JsonPtr>> object_;
+};
+
+}  // namespace citusx::sql
+
+#endif  // CITUSX_SQL_JSON_H_

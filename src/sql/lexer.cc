@@ -1,0 +1,184 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str.h"
+
+namespace citusx::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "select", "from",   "where",    "group",   "by",       "having",
+      "order",  "limit",  "offset",   "as",      "and",      "or",
+      "not",    "in",     "is",       "null",    "true",     "false",
+      "insert", "into",   "values",   "update",  "set",      "delete",
+      "create", "table",  "index",    "unique",  "drop",     "truncate",
+      "copy",   "begin",  "commit",   "rollback", "prepare", "prepared",
+      "transaction",      "join",     "inner",   "left",     "outer",
+      "on",     "using",  "distinct", "case",    "when",     "then",
+      "else",   "end",    "cast",     "like",    "ilike",    "between",
+      "asc",    "desc",   "primary",  "references", "default",
+      "exists", "if",     "call",     "interval", "date",    "timestamp",
+      "extract", "for",   "conflict", "do",
+      "count",  "with",   "union",    "all",      "to",
+      "nulls",  "cross",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return KeywordSet().count(word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') i++;
+      continue;
+    }
+    // /* block comments */
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) i++;
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        i++;
+      }
+      tok.text = ToLower(sql.substr(start, i - start));
+      tok.type = IsKeyword(tok.text) ? TokenType::kKeyword
+                                     : TokenType::kIdentifier;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      // Quoted identifier: case preserved.
+      size_t start = ++i;
+      while (i < n && sql[i] != '"') i++;
+      if (i >= n) return Status::InvalidArgument("unterminated quoted identifier");
+      tok.text = sql.substr(start, i - start);
+      tok.type = TokenType::kIdentifier;
+      i++;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      i++;
+      std::string s;
+      for (;;) {
+        if (i >= n) return Status::InvalidArgument("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          i++;
+          break;
+        }
+        s.push_back(sql[i++]);
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        i++;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        i++;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) i++;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '$') {
+      size_t start = ++i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) i++;
+      if (i == start) return Status::InvalidArgument("bad parameter marker");
+      tok.type = TokenType::kParam;
+      tok.int_value = std::strtoll(sql.substr(start, i - start).c_str(),
+                                   nullptr, 10);
+      tok.text = "$" + sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto match = [&](const char* op) {
+      size_t len = std::char_traits<char>::length(op);
+      return sql.compare(i, len, op) == 0;
+    };
+    static const char* kMultiOps[] = {"->>", "<=", ">=", "<>", "!=",
+                                      "||",  "::", "->"};
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      if (match(op)) {
+        tok.type = TokenType::kOperator;
+        tok.text = op;
+        i += std::char_traits<char>::length(op);
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingleOps = "+-*/%=<>(),.;:";
+    if (kSingleOps.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      i++;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace citusx::sql

@@ -1,0 +1,40 @@
+// SQL lexer.
+#ifndef CITUSX_SQL_LEXER_H_
+#define CITUSX_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace citusx::sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // unquoted (lowercased) or "quoted"
+  kKeyword,      // recognized SQL keyword, lowercased in text
+  kInteger,
+  kFloat,
+  kString,       // 'literal' with '' unescaped
+  kParam,        // $n
+  kOperator,     // punctuation / multi-char operators
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // normalized: identifiers/keywords lowercased
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;  // byte offset in input, for error messages
+};
+
+/// Tokenize a SQL string. Keywords are recognized from a fixed list and
+/// lowercased; identifiers are lowercased unless double-quoted.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (lowercase) is a reserved SQL keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace citusx::sql
+
+#endif  // CITUSX_SQL_LEXER_H_

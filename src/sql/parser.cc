@@ -1,0 +1,1125 @@
+#include "sql/parser.h"
+
+#include <unordered_set>
+
+#include "common/str.h"
+#include "sql/lexer.h"
+
+namespace citusx::sql {
+
+namespace {
+
+bool IsAggregateName(const std::string& name) {
+  static const auto* kAggs = new std::unordered_set<std::string>{
+      "count", "sum", "avg", "min", "max"};
+  return kAggs->count(name) > 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    CITUSX_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    // Optional trailing semicolon.
+    if (CurIs(TokenType::kOperator, ";")) Advance();
+    if (Cur().type != TokenType::kEof) {
+      return Error("unexpected input after statement: '" + Cur().text + "'");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseSingleExpression() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Cur().type != TokenType::kEof) {
+      return Status::InvalidArgument("unexpected input after expression");
+    }
+    return e;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) pos_++;
+  }
+  bool CurIs(TokenType t, const std::string& text) const {
+    return Cur().type == t && Cur().text == text;
+  }
+  bool CurIsKeyword(const std::string& kw) const {
+    // Keywords match the keyword token; non-reserved words (e.g. KEY, STDIN,
+    // WORK) lex as identifiers but still satisfy keyword positions, like
+    // PostgreSQL's unreserved keywords.
+    return (Cur().type == TokenType::kKeyword ||
+            Cur().type == TokenType::kIdentifier) &&
+           Cur().text == kw;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (CurIsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptOp(const std::string& op) {
+    if (CurIs(TokenType::kOperator, op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s near '%s' (offset %zu)", ToUpper(kw).c_str(),
+                    Cur().text.c_str(), Cur().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(const std::string& op) {
+    if (!AcceptOp(op)) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%s' near '%s' (offset %zu)", op.c_str(),
+                    Cur().text.c_str(), Cur().offset));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("%s (offset %zu)", msg.c_str(), Cur().offset));
+  }
+  Result<std::string> ExpectIdentifier() {
+    // Accept non-reserved keywords as identifiers too (e.g. a column named
+    // "date" would be quoted in real SQL; we are lenient for common cases).
+    if (Cur().type == TokenType::kIdentifier) {
+      std::string s = Cur().text;
+      Advance();
+      return s;
+    }
+    return Status::InvalidArgument(StrFormat("expected identifier near '%s'",
+                                             Cur().text.c_str()));
+  }
+  Result<std::string> ExpectString() {
+    if (Cur().type == TokenType::kString) {
+      std::string s = Cur().text;
+      Advance();
+      return s;
+    }
+    return Status::InvalidArgument("expected string literal");
+  }
+
+  // ---- statements ----
+
+  Result<Statement> ParseStatementInner() {
+    if (CurIsKeyword("explain")) {
+      Advance();
+      CITUSX_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
+      if (inner.kind != Statement::Kind::kSelect &&
+          inner.kind != Statement::Kind::kInsert &&
+          inner.kind != Statement::Kind::kUpdate &&
+          inner.kind != Statement::Kind::kDelete) {
+        return Status::NotSupported("EXPLAIN supports SELECT/DML only");
+      }
+      inner.is_explain = true;
+      return inner;
+    }
+    Statement stmt;
+    if (CurIsKeyword("select") || CurIs(TokenType::kOperator, "(")) {
+      stmt.kind = Statement::Kind::kSelect;
+      CITUSX_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      return stmt;
+    }
+    if (AcceptKeyword("insert")) return ParseInsert();
+    if (AcceptKeyword("update")) return ParseUpdate();
+    if (AcceptKeyword("delete")) return ParseDelete();
+    if (AcceptKeyword("create")) return ParseCreate();
+    if (AcceptKeyword("drop")) return ParseDrop();
+    if (AcceptKeyword("truncate")) return ParseTruncate();
+    if (AcceptKeyword("copy")) return ParseCopy();
+    if (AcceptKeyword("call")) return ParseCall();
+    if (AcceptKeyword("set")) return ParseSet();
+    if (CurIsKeyword("begin") || CurIsKeyword("commit") ||
+        CurIsKeyword("rollback") || CurIsKeyword("prepare")) {
+      return ParseTxn();
+    }
+    return Error("unrecognized statement start: '" + Cur().text + "'");
+  }
+
+  Result<SelectPtr> ParseSelect() {
+    // Allow a parenthesized select.
+    if (AcceptOp("(")) {
+      CITUSX_ASSIGN_OR_RETURN(SelectPtr inner, ParseSelect());
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+      return inner;
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto sel = std::make_shared<SelectStmt>();
+    if (AcceptKeyword("distinct")) sel->distinct = true;
+    // Target list.
+    for (;;) {
+      SelectItem item;
+      if (CurIs(TokenType::kOperator, "*")) {
+        Advance();
+        item.expr = MakeStar();
+      } else {
+        CITUSX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          CITUSX_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Cur().type == TokenType::kIdentifier) {
+          item.alias = Cur().text;
+          Advance();
+        }
+      }
+      sel->targets.push_back(std::move(item));
+      if (!AcceptOp(",")) break;
+    }
+    if (AcceptKeyword("from")) {
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(TableRefPtr ref, ParseTableRef());
+        sel->from.push_back(std::move(ref));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKeyword("where")) {
+      CITUSX_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("by"));
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        sel->group_by.push_back(std::move(g));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKeyword("having")) {
+      CITUSX_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("by"));
+      for (;;) {
+        OrderByItem item;
+        CITUSX_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.desc = true;
+        } else {
+          AcceptKeyword("asc");
+        }
+        // NULLS FIRST/LAST accepted and ignored (we always sort NULLS LAST).
+        if (AcceptKeyword("nulls")) {
+          if (!AcceptKeyword("first")) AcceptKeyword("last");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    if (AcceptKeyword("limit")) {
+      CITUSX_ASSIGN_OR_RETURN(sel->limit, ParseExpr());
+    }
+    if (AcceptKeyword("offset")) {
+      CITUSX_ASSIGN_OR_RETURN(sel->offset, ParseExpr());
+    }
+    if (AcceptKeyword("for")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("update"));
+      sel->for_update = true;
+    }
+    return sel;
+  }
+
+  Result<TableRefPtr> ParseTableRef() {
+    CITUSX_ASSIGN_OR_RETURN(TableRefPtr left, ParseTableRefPrimary());
+    for (;;) {
+      JoinType jt;
+      if (CurIsKeyword("join")) {
+        Advance();
+        jt = JoinType::kInner;
+      } else if (CurIsKeyword("inner")) {
+        Advance();
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kInner;
+      } else if (CurIsKeyword("left")) {
+        Advance();
+        AcceptKeyword("outer");
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kLeft;
+      } else if (CurIsKeyword("cross")) {
+        Advance();
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("join"));
+        CITUSX_ASSIGN_OR_RETURN(TableRefPtr right, ParseTableRefPrimary());
+        auto join = std::make_shared<TableRef>();
+        join->kind = TableRef::Kind::kJoin;
+        join->join_type = JoinType::kInner;
+        join->left = std::move(left);
+        join->right = std::move(right);
+        join->on = MakeConst(Datum::Bool(true));
+        left = std::move(join);
+        continue;
+      } else {
+        break;
+      }
+      CITUSX_ASSIGN_OR_RETURN(TableRefPtr right, ParseTableRefPrimary());
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("on"));
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+      auto join = std::make_shared<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->join_type = jt;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      join->on = std::move(on);
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<TableRefPtr> ParseTableRefPrimary() {
+    auto ref = std::make_shared<TableRef>();
+    if (AcceptOp("(")) {
+      ref->kind = TableRef::Kind::kSubquery;
+      CITUSX_ASSIGN_OR_RETURN(ref->subquery, ParseSelect());
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+      AcceptKeyword("as");
+      CITUSX_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier());
+      return ref;
+    }
+    ref->kind = TableRef::Kind::kTable;
+    CITUSX_ASSIGN_OR_RETURN(ref->name, ExpectIdentifier());
+    if (AcceptKeyword("as")) {
+      CITUSX_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier());
+    } else if (Cur().type == TokenType::kIdentifier) {
+      ref->alias = Cur().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Result<Statement> ParseInsert() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    stmt.insert = std::make_shared<InsertStmt>();
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("into"));
+    CITUSX_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdentifier());
+    if (CurIs(TokenType::kOperator, "(") &&
+        !(Peek().type == TokenType::kKeyword && Peek().text == "select")) {
+      Advance();
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.insert->columns.push_back(std::move(col));
+        if (!AcceptOp(",")) break;
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    if (AcceptKeyword("values")) {
+      for (;;) {
+        CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+        std::vector<ExprPtr> row;
+        for (;;) {
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (!AcceptOp(",")) break;
+        }
+        CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+        stmt.insert->values.push_back(std::move(row));
+        if (!AcceptOp(",")) break;
+      }
+    } else if (CurIsKeyword("select") || CurIs(TokenType::kOperator, "(")) {
+      CITUSX_ASSIGN_OR_RETURN(stmt.insert->select, ParseSelect());
+    } else {
+      return Error("expected VALUES or SELECT in INSERT");
+    }
+    if (AcceptKeyword("on")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("conflict"));
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("do"));
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("nothing"));
+      stmt.insert->on_conflict_do_nothing = true;
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseUpdate() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kUpdate;
+    stmt.update = std::make_shared<UpdateStmt>();
+    CITUSX_ASSIGN_OR_RETURN(stmt.update->table, ExpectIdentifier());
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("set"));
+    for (;;) {
+      CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      CITUSX_RETURN_IF_ERROR(ExpectOp("="));
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.update->sets.emplace_back(std::move(col), std::move(e));
+      if (!AcceptOp(",")) break;
+    }
+    if (AcceptKeyword("where")) {
+      CITUSX_ASSIGN_OR_RETURN(stmt.update->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseDelete() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDelete;
+    stmt.del = std::make_shared<DeleteStmt>();
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("from"));
+    CITUSX_ASSIGN_OR_RETURN(stmt.del->table, ExpectIdentifier());
+    if (AcceptKeyword("where")) {
+      CITUSX_ASSIGN_OR_RETURN(stmt.del->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCreate() {
+    bool unique = AcceptKeyword("unique");
+    if (AcceptKeyword("table")) {
+      if (unique) return Error("UNIQUE TABLE is not valid");
+      return ParseCreateTable();
+    }
+    if (AcceptKeyword("index")) return ParseCreateIndex(unique);
+    return Error("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<Statement> ParseCreateTable() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_shared<CreateTableStmt>();
+    auto& ct = *stmt.create_table;
+    if (AcceptKeyword("if")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("not"));
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      ct.if_not_exists = true;
+    }
+    CITUSX_ASSIGN_OR_RETURN(ct.table, ExpectIdentifier());
+    CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+    for (;;) {
+      if (AcceptKeyword("primary")) {
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("key"));
+        CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+        for (;;) {
+          CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          ct.primary_key.push_back(std::move(col));
+          if (!AcceptOp(",")) break;
+        }
+        CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+      } else {
+        ColumnDef col;
+        CITUSX_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+        CITUSX_ASSIGN_OR_RETURN(col.type, ParseTypeName());
+        // Column constraints, any order.
+        for (;;) {
+          if (AcceptKeyword("not")) {
+            CITUSX_RETURN_IF_ERROR(ExpectKeyword("null"));
+            col.not_null = true;
+          } else if (AcceptKeyword("null")) {
+            // nullable (default)
+          } else if (AcceptKeyword("primary")) {
+            CITUSX_RETURN_IF_ERROR(ExpectKeyword("key"));
+            col.primary_key = true;
+            col.not_null = true;
+          } else if (AcceptKeyword("default")) {
+            // Store raw expression text for later evaluation.
+            size_t start = Cur().offset;
+            CITUSX_ASSIGN_OR_RETURN(ExprPtr ignored, ParseExpr());
+            (void)ignored;
+            size_t end = Cur().offset;
+            col.default_expr = raw_ ? raw_->substr(start, end - start) : "";
+          } else if (AcceptKeyword("references")) {
+            // FK target: parsed and recorded as informational only.
+            CITUSX_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier());
+            (void)t;
+            if (AcceptOp("(")) {
+              CITUSX_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
+              (void)c;
+              CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+            }
+          } else if (AcceptKeyword("unique")) {
+            // informational
+          } else {
+            break;
+          }
+        }
+        if (col.primary_key) ct.primary_key.push_back(col.name);
+        ct.schema.columns.push_back(std::move(col));
+      }
+      if (!AcceptOp(",")) break;
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    if (AcceptKeyword("using")) {
+      CITUSX_ASSIGN_OR_RETURN(ct.access_method, ExpectIdentifier());
+      if (ct.access_method != "heap" && ct.access_method != "columnar") {
+        return Error("unknown access method: " + ct.access_method);
+      }
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCreateIndex(bool unique) {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_shared<CreateIndexStmt>();
+    auto& ci = *stmt.create_index;
+    ci.unique = unique;
+    if (AcceptKeyword("if")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("not"));
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      ci.if_not_exists = true;
+    }
+    CITUSX_ASSIGN_OR_RETURN(ci.index, ExpectIdentifier());
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("on"));
+    CITUSX_ASSIGN_OR_RETURN(ci.table, ExpectIdentifier());
+    if (AcceptKeyword("using")) {
+      CITUSX_ASSIGN_OR_RETURN(std::string method, ExpectIdentifier());
+      if (method == "btree") {
+        ci.method = IndexMethod::kBtree;
+      } else if (method == "gin" || method == "gin_trgm") {
+        ci.method = IndexMethod::kGinTrgm;
+      } else {
+        return Error("unknown index method: " + method);
+      }
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+    if (CurIs(TokenType::kOperator, "(") || ci.method == IndexMethod::kGinTrgm) {
+      // Expression index: ((expr) [gin_trgm_ops]) or a plain expr for GIN.
+      CITUSX_ASSIGN_OR_RETURN(ci.expression, ParseExpr());
+      // Optional opclass name (e.g. gin_trgm_ops).
+      if (Cur().type == TokenType::kIdentifier) Advance();
+    } else {
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        ci.columns.push_back(std::move(col));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    return stmt;
+  }
+
+  Result<Statement> ParseDrop() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDropTable;
+    stmt.drop_table = std::make_shared<DropTableStmt>();
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("table"));
+    if (AcceptKeyword("if")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      stmt.drop_table->if_exists = true;
+    }
+    CITUSX_ASSIGN_OR_RETURN(stmt.drop_table->table, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseTruncate() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kTruncate;
+    stmt.truncate = std::make_shared<TruncateStmt>();
+    AcceptKeyword("table");
+    for (;;) {
+      CITUSX_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier());
+      stmt.truncate->tables.push_back(std::move(t));
+      if (!AcceptOp(",")) break;
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCopy() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCopy;
+    stmt.copy = std::make_shared<CopyStmt>();
+    CITUSX_ASSIGN_OR_RETURN(stmt.copy->table, ExpectIdentifier());
+    if (AcceptOp("(")) {
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.copy->columns.push_back(std::move(col));
+        if (!AcceptOp(",")) break;
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("from"));
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("stdin"));
+    return stmt;
+  }
+
+  Result<Statement> ParseCall() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCall;
+    stmt.call = std::make_shared<CallStmt>();
+    CITUSX_ASSIGN_OR_RETURN(stmt.call->procedure, ExpectIdentifier());
+    CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+    if (!CurIs(TokenType::kOperator, ")")) {
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.call->args.push_back(std::move(e));
+        if (!AcceptOp(",")) break;
+      }
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    return stmt;
+  }
+
+  Result<Statement> ParseSet() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kSet;
+    stmt.set = std::make_shared<SetStmt>();
+    AcceptKeyword("local");
+    // Setting names may be dotted: citus.distributed_txid.
+    CITUSX_ASSIGN_OR_RETURN(stmt.set->name, ExpectIdentifier());
+    while (AcceptOp(".")) {
+      CITUSX_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+      stmt.set->name += "." + part;
+    }
+    if (!AcceptOp("=")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("to"));
+    }
+    if (Cur().type == TokenType::kString ||
+        Cur().type == TokenType::kIdentifier ||
+        Cur().type == TokenType::kKeyword) {
+      stmt.set->value = Cur().text;
+      Advance();
+    } else if (Cur().type == TokenType::kInteger ||
+               Cur().type == TokenType::kFloat) {
+      stmt.set->value = Cur().text;
+      Advance();
+    } else {
+      return Error("expected value in SET");
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseTxn() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kTxn;
+    stmt.txn = std::make_shared<TxnStmt>();
+    if (AcceptKeyword("begin")) {
+      AcceptKeyword("transaction");
+      AcceptKeyword("work");
+      stmt.txn->op = TxnOp::kBegin;
+      return stmt;
+    }
+    if (AcceptKeyword("commit")) {
+      if (AcceptKeyword("prepared")) {
+        stmt.txn->op = TxnOp::kCommitPrepared;
+        CITUSX_ASSIGN_OR_RETURN(stmt.txn->gid, ExpectString());
+        return stmt;
+      }
+      AcceptKeyword("transaction");
+      AcceptKeyword("work");
+      stmt.txn->op = TxnOp::kCommit;
+      return stmt;
+    }
+    if (AcceptKeyword("rollback")) {
+      if (AcceptKeyword("prepared")) {
+        stmt.txn->op = TxnOp::kRollbackPrepared;
+        CITUSX_ASSIGN_OR_RETURN(stmt.txn->gid, ExpectString());
+        return stmt;
+      }
+      AcceptKeyword("transaction");
+      AcceptKeyword("work");
+      stmt.txn->op = TxnOp::kRollback;
+      return stmt;
+    }
+    if (AcceptKeyword("prepare")) {
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("transaction"));
+      stmt.txn->op = TxnOp::kPrepare;
+      CITUSX_ASSIGN_OR_RETURN(stmt.txn->gid, ExpectString());
+      return stmt;
+    }
+    return Error("bad transaction statement");
+  }
+
+  Result<TypeId> ParseTypeName() {
+    // Type names may be keywords (date, timestamp) or identifiers, possibly
+    // multi-word (double precision, timestamp with time zone), possibly with
+    // (n) length suffixes which we ignore.
+    std::string name;
+    if (Cur().type == TokenType::kIdentifier ||
+        Cur().type == TokenType::kKeyword) {
+      name = Cur().text;
+      Advance();
+    } else {
+      return Status::InvalidArgument("expected type name");
+    }
+    if (name == "double" && CurIs(TokenType::kIdentifier, "precision")) {
+      Advance();
+      name = "double precision";
+    }
+    if (name == "character" && CurIs(TokenType::kIdentifier, "varying")) {
+      Advance();
+      name = "character varying";
+    }
+    if (name == "timestamp") {
+      if (AcceptKeyword("with") || CurIs(TokenType::kIdentifier, "without")) {
+        if (CurIs(TokenType::kIdentifier, "without")) Advance();
+        // "time zone"
+        if (CurIs(TokenType::kIdentifier, "time")) Advance();
+        if (CurIs(TokenType::kIdentifier, "zone")) Advance();
+      }
+    }
+    if (AcceptOp("(")) {
+      while (!CurIs(TokenType::kOperator, ")") &&
+             Cur().type != TokenType::kEof) {
+        Advance();
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    return TypeFromName(name);
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return MakeUnary(UnOp::kNot, std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    for (;;) {
+      BinOp op;
+      if (AcceptOp("=")) {
+        op = BinOp::kEq;
+      } else if (AcceptOp("<>") || AcceptOp("!=")) {
+        op = BinOp::kNe;
+      } else if (AcceptOp("<=")) {
+        op = BinOp::kLe;
+      } else if (AcceptOp(">=")) {
+        op = BinOp::kGe;
+      } else if (AcceptOp("<")) {
+        op = BinOp::kLt;
+      } else if (AcceptOp(">")) {
+        op = BinOp::kGt;
+      } else if (CurIsKeyword("like")) {
+        Advance();
+        op = BinOp::kLike;
+      } else if (CurIsKeyword("ilike")) {
+        Advance();
+        op = BinOp::kILike;
+      } else if (CurIsKeyword("not") &&
+                 (Peek().text == "like" || Peek().text == "ilike" ||
+                  Peek().text == "in" || Peek().text == "between")) {
+        Advance();
+        if (AcceptKeyword("like")) {
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+          left = MakeUnary(UnOp::kNot, MakeBinary(BinOp::kLike, std::move(left),
+                                                  std::move(right)));
+          continue;
+        }
+        if (AcceptKeyword("ilike")) {
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+          left = MakeUnary(UnOp::kNot, MakeBinary(BinOp::kILike,
+                                                  std::move(left),
+                                                  std::move(right)));
+          continue;
+        }
+        if (AcceptKeyword("in")) {
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr in, ParseInList(std::move(left)));
+          left = MakeUnary(UnOp::kNot, std::move(in));
+          continue;
+        }
+        // NOT BETWEEN
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("between"));
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr between, ParseBetween(std::move(left)));
+        left = MakeUnary(UnOp::kNot, std::move(between));
+        continue;
+      } else if (CurIsKeyword("in")) {
+        Advance();
+        CITUSX_ASSIGN_OR_RETURN(left, ParseInList(std::move(left)));
+        continue;
+      } else if (CurIsKeyword("between")) {
+        Advance();
+        CITUSX_ASSIGN_OR_RETURN(left, ParseBetween(std::move(left)));
+        continue;
+      } else if (CurIsKeyword("is")) {
+        Advance();
+        bool is_not = AcceptKeyword("not");
+        CITUSX_RETURN_IF_ERROR(ExpectKeyword("null"));
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kIsNull;
+        e->is_not_null = is_not;
+        e->args = {std::move(left)};
+        left = std::move(e);
+        continue;
+      } else {
+        break;
+      }
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseInList(ExprPtr needle) {
+    CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kIn;
+    e->args.push_back(std::move(needle));
+    for (;;) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      e->args.push_back(std::move(item));
+      if (!AcceptOp(",")) break;
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParseBetween(ExprPtr subject) {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("and"));
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    ExprPtr lo_cmp = MakeBinary(BinOp::kGe, subject->Clone(), std::move(lo));
+    ExprPtr hi_cmp = MakeBinary(BinOp::kLe, std::move(subject), std::move(hi));
+    return MakeBinary(BinOp::kAnd, std::move(lo_cmp), std::move(hi_cmp));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      BinOp op;
+      if (AcceptOp("+")) {
+        op = BinOp::kAdd;
+      } else if (AcceptOp("-")) {
+        op = BinOp::kSub;
+      } else if (AcceptOp("||")) {
+        op = BinOp::kConcat;
+      } else {
+        break;
+      }
+      // date +/- INTERVAL 'n' unit
+      if (CurIsKeyword("interval") && (op == BinOp::kAdd || op == BinOp::kSub)) {
+        Advance();
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr iv, ParseIntervalTail(op == BinOp::kSub));
+        // iv is a func add_days/add_months with a placeholder first arg.
+        iv->args[0] = std::move(left);
+        left = std::move(iv);
+        continue;
+      }
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  // Parses the "'n' unit" part after INTERVAL; returns add_days/add_months
+  // func node with args[0] left as a placeholder.
+  Result<ExprPtr> ParseIntervalTail(bool negate) {
+    CITUSX_ASSIGN_OR_RETURN(std::string amount, ExpectString());
+    int64_t n = std::strtoll(amount.c_str(), nullptr, 10);
+    if (negate) n = -n;
+    std::string unit;
+    if (Cur().type == TokenType::kIdentifier) {
+      unit = Cur().text;
+      Advance();
+    } else {
+      // Support "interval '90 days'" form.
+      auto parts = SplitString(amount, ' ');
+      if (parts.size() == 2) unit = ToLower(parts[1]);
+    }
+    std::string func;
+    if (unit == "day" || unit == "days") {
+      func = "add_days";
+    } else if (unit == "month" || unit == "months") {
+      func = "add_months";
+    } else if (unit == "year" || unit == "years") {
+      func = "add_months";
+      n *= 12;
+    } else {
+      return Status::NotSupported("unsupported interval unit: " + unit);
+    }
+    return MakeFunc(func, {nullptr, MakeConst(Datum::Int8(n))});
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr left, ParseUnaryExpr());
+    for (;;) {
+      BinOp op;
+      if (AcceptOp("*")) {
+        op = BinOp::kMul;
+      } else if (AcceptOp("/")) {
+        op = BinOp::kDiv;
+      } else if (AcceptOp("%")) {
+        op = BinOp::kMod;
+      } else {
+        break;
+      }
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr right, ParseUnaryExpr());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnaryExpr() {
+    if (AcceptOp("-")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr child, ParseUnaryExpr());
+      if (child->kind == ExprKind::kConst) {
+        // Fold negative literals.
+        const Datum& v = child->value;
+        if (v.type() == TypeId::kInt8 || v.type() == TypeId::kInt4) {
+          return MakeConst(Datum::Int8(-v.int_value()));
+        }
+        if (v.type() == TypeId::kFloat8) {
+          return MakeConst(Datum::Float8(-v.float_value()));
+        }
+      }
+      return MakeUnary(UnOp::kNeg, std::move(child));
+    }
+    AcceptOp("+");
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    for (;;) {
+      if (AcceptOp("::")) {
+        CITUSX_ASSIGN_OR_RETURN(TypeId t, ParseTypeName());
+        e = MakeCast(std::move(e), t);
+        continue;
+      }
+      if (AcceptOp("->")) {
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr key, ParsePrimary());
+        e = MakeBinary(BinOp::kJsonGet, std::move(e), std::move(key));
+        continue;
+      }
+      if (AcceptOp("->>")) {
+        CITUSX_ASSIGN_OR_RETURN(ExprPtr key, ParsePrimary());
+        e = MakeBinary(BinOp::kJsonGetText, std::move(e), std::move(key));
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return MakeConst(Datum::Int8(t.int_value));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return MakeConst(Datum::Float8(t.float_value));
+      }
+      case TokenType::kString: {
+        Advance();
+        return MakeConst(Datum::Text(t.text));
+      }
+      case TokenType::kParam: {
+        Advance();
+        return MakeParam(static_cast<int>(t.int_value) - 1);
+      }
+      case TokenType::kOperator: {
+        if (t.text == "(") {
+          Advance();
+          // Scalar subquery is unsupported; a parenthesized SELECT here is a
+          // planner-level feature we reject with a clear message.
+          if (CurIsKeyword("select")) {
+            return Status::NotSupported("scalar subqueries are not supported");
+          }
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+          return e;
+        }
+        if (t.text == "*") {
+          Advance();
+          return MakeStar();
+        }
+        break;
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "null") {
+          Advance();
+          return MakeConst(Datum::Null());
+        }
+        if (t.text == "true") {
+          Advance();
+          return MakeConst(Datum::Bool(true));
+        }
+        if (t.text == "false") {
+          Advance();
+          return MakeConst(Datum::Bool(false));
+        }
+        if (t.text == "date") {
+          // DATE 'YYYY-MM-DD' literal.
+          if (Peek().type == TokenType::kString) {
+            Advance();
+            CITUSX_ASSIGN_OR_RETURN(std::string s, ExpectString());
+            CITUSX_ASSIGN_OR_RETURN(int64_t days, ParseDate(s));
+            return MakeConst(Datum::Date(days));
+          }
+        }
+        if (t.text == "timestamp") {
+          if (Peek().type == TokenType::kString) {
+            Advance();
+            CITUSX_ASSIGN_OR_RETURN(std::string s, ExpectString());
+            CITUSX_ASSIGN_OR_RETURN(int64_t us, ParseTimestamp(s));
+            return MakeConst(Datum::Timestamp(us));
+          }
+        }
+        if (t.text == "case") return ParseCase();
+        if (t.text == "cast") {
+          Advance();
+          CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+          CITUSX_RETURN_IF_ERROR(ExpectKeyword("as"));
+          CITUSX_ASSIGN_OR_RETURN(TypeId type, ParseTypeName());
+          CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+          return MakeCast(std::move(child), type);
+        }
+        if (t.text == "extract") {
+          Advance();
+          CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+          CITUSX_ASSIGN_OR_RETURN(std::string field, ExpectIdentifier());
+          CITUSX_RETURN_IF_ERROR(ExpectKeyword("from"));
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr src, ParseExpr());
+          CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+          return MakeFunc("extract_" + ToLower(field), {std::move(src)});
+        }
+        if (t.text == "count") {
+          // count is a keyword so that COUNT(*) parses cleanly.
+          Advance();
+          CITUSX_RETURN_IF_ERROR(ExpectOp("("));
+          bool distinct = AcceptKeyword("distinct");
+          if (AcceptOp("*")) {
+            CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+            return MakeAgg("count", {}, false, /*star=*/true);
+          }
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+          return MakeAgg("count", {std::move(arg)}, distinct);
+        }
+        if (t.text == "exists") {
+          return Status::NotSupported("EXISTS subqueries are not supported");
+        }
+        if (t.text == "interval") {
+          return Status::NotSupported(
+              "standalone INTERVAL is only supported in date +/- INTERVAL");
+        }
+        break;
+      }
+      case TokenType::kIdentifier: {
+        std::string name = t.text;
+        Advance();
+        if (CurIs(TokenType::kOperator, "(")) {
+          // Function or aggregate call.
+          Advance();
+          bool distinct = AcceptKeyword("distinct");
+          std::vector<ExprPtr> args;
+          if (!CurIs(TokenType::kOperator, ")")) {
+            for (;;) {
+              // Named-argument syntax f(x := 1) used by Citus UDFs.
+              if (Cur().type == TokenType::kIdentifier &&
+                  Peek().type == TokenType::kOperator && Peek().text == ":" &&
+                  Peek(2).type == TokenType::kOperator && Peek(2).text == "=") {
+                // Keep the argument name as a text const marker arg pair.
+                std::string arg_name = Cur().text;
+                Advance();
+                Advance();
+                Advance();
+                CITUSX_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+                args.push_back(MakeConst(Datum::Text("__named__" + arg_name)));
+                args.push_back(std::move(val));
+              } else {
+                CITUSX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+                args.push_back(std::move(arg));
+              }
+              if (!AcceptOp(",")) break;
+            }
+          }
+          CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+          if (IsAggregateName(name)) {
+            return MakeAgg(name, std::move(args), distinct);
+          }
+          return MakeFunc(name, std::move(args));
+        }
+        if (AcceptOp(".")) {
+          if (CurIs(TokenType::kOperator, "*")) {
+            Advance();
+            auto star = MakeStar();
+            star->table = name;
+            return star;
+          }
+          CITUSX_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          return MakeColumnRef(name, col);
+        }
+        return MakeColumnRef("", name);
+      }
+      default:
+        break;
+    }
+    return Error("unexpected token '" + t.text + "' in expression");
+  }
+
+  Result<ExprPtr> ParseCase() {
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("case"));
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kCase;
+    // Simple CASE (CASE expr WHEN v ...) is rewritten to searched CASE.
+    ExprPtr subject;
+    if (!CurIsKeyword("when")) {
+      CITUSX_ASSIGN_OR_RETURN(subject, ParseExpr());
+    }
+    while (AcceptKeyword("when")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      if (subject) {
+        cond = MakeBinary(BinOp::kEq, subject->Clone(), std::move(cond));
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("then"));
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->args.push_back(std::move(cond));
+      e->args.push_back(std::move(then));
+    }
+    if (AcceptKeyword("else")) {
+      CITUSX_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+      e->args.push_back(std::move(els));
+      e->case_has_else = true;
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("end"));
+    return ExprPtr(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const std::string* raw_ = nullptr;
+
+ public:
+  void set_raw(const std::string* raw) { raw_ = raw; }
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  CITUSX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens));
+  p.set_raw(&sql);
+  return p.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  CITUSX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseSingleExpression();
+}
+
+}  // namespace citusx::sql

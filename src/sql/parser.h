@@ -1,0 +1,20 @@
+// Recursive-descent SQL parser producing the AST in sql/ast.h.
+#ifndef CITUSX_SQL_PARSER_H_
+#define CITUSX_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace citusx::sql {
+
+/// Parse a single SQL statement (a trailing ';' is allowed).
+Result<Statement> Parse(const std::string& sql);
+
+/// Parse a standalone expression (used by tests and DEFAULT clauses).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace citusx::sql
+
+#endif  // CITUSX_SQL_PARSER_H_

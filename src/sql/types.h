@@ -1,0 +1,74 @@
+// SQL type system: type ids and table schemas.
+#ifndef CITUSX_SQL_TYPES_H_
+#define CITUSX_SQL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace citusx::sql {
+
+/// Supported SQL types (a PostgreSQL subset).
+enum class TypeId : uint8_t {
+  kNull = 0,   // the type of a bare NULL literal
+  kBool,
+  kInt4,
+  kInt8,
+  kFloat8,
+  kText,
+  kDate,       // days since 2000-01-01, stored as int64
+  kTimestamp,  // microseconds since 2000-01-01, stored as int64
+  kJsonb,
+};
+
+/// Returns the SQL name of a type ("bigint", "text", ...).
+const char* TypeName(TypeId t);
+
+/// Parses a SQL type name; accepts common aliases (int, integer, int4,
+/// bigint, int8, double precision, float8, varchar, jsonb, ...).
+Result<TypeId> TypeFromName(const std::string& name);
+
+/// True for int4/int8/float8.
+inline bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt4 || t == TypeId::kInt8 || t == TypeId::kFloat8;
+}
+
+inline bool IsIntegral(TypeId t) {
+  return t == TypeId::kInt4 || t == TypeId::kInt8;
+}
+
+/// Approximate on-disk width in bytes, used for block accounting in the
+/// buffer pool simulation.
+int TypeWidth(TypeId t);
+
+/// One column of a table schema.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool not_null = false;
+  bool primary_key = false;
+  std::string default_expr;  // raw SQL text of DEFAULT, empty if none
+};
+
+/// A table schema. Passive data carrier.
+struct Schema {
+  std::vector<ColumnDef> columns;
+
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); i++) {
+      if (columns[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int num_columns() const { return static_cast<int>(columns.size()); }
+
+  /// Sum of column widths plus per-row header, for block accounting.
+  int RowWidth() const;
+};
+
+}  // namespace citusx::sql
+
+#endif  // CITUSX_SQL_TYPES_H_

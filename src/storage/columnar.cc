@@ -1,0 +1,114 @@
+#include "storage/columnar.h"
+
+#include <functional>
+
+namespace citusx::storage {
+
+Status ColumnarTable::Insert(sql::Row row, TxnId xmin) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::Internal("columnar row width mismatch");
+  }
+  if (!open_active_) {
+    open_ = Stripe{};
+    open_.columns.resize(static_cast<size_t>(schema_.num_columns()));
+    open_.column_bytes.assign(static_cast<size_t>(schema_.num_columns()), 0);
+    open_.xmin = xmin;
+    open_active_ = true;
+  }
+  for (size_t c = 0; c < row.size(); c++) {
+    open_.column_bytes[c] += row[c].PhysicalSize();
+    data_bytes_ += row[c].PhysicalSize();
+    open_.columns[c].push_back(std::move(row[c]));
+  }
+  open_.rows++;
+  // Later writers in the same stripe own visibility; in practice COPY loads
+  // whole stripes in one transaction, matching Citus columnar usage.
+  open_.xmin = xmin;
+  if (open_.rows >= kStripeRows) SealStripe(xmin);
+  return Status::OK();
+}
+
+void ColumnarTable::SealStripe(TxnId xmin) {
+  if (!open_active_ || open_.rows == 0) return;
+  open_.xmin = xmin;
+  open_.first_block = next_block_;
+  // Charge compressed write I/O for each column block.
+  for (size_t c = 0; c < open_.column_bytes.size(); c++) {
+    int64_t pages = static_cast<int64_t>(
+        static_cast<double>(open_.column_bytes[c]) /
+        (kCompressionRatio * static_cast<double>(pool_->page_bytes()))) + 1;
+    for (int64_t p = 0; p < pages; p++) {
+      pool_->AppendBlock(BlockId{object_id_, next_block_++});
+    }
+  }
+  stripes_.push_back(std::move(open_));
+  open_ = Stripe{};
+  open_active_ = false;
+}
+
+int64_t ColumnarTable::num_rows() const {
+  int64_t n = open_active_ ? open_.rows : 0;
+  for (const auto& s : stripes_) n += s.rows;
+  return n;
+}
+
+bool ColumnarTable::Scan(const Snapshot& snap,
+                         const TxnStatusResolver& resolver,
+                         const std::vector<int>& projection,
+                         const std::function<bool(const sql::Row&)>& fn) {
+  auto scan_stripe = [&](const Stripe& s, bool charge_io) -> bool {
+    if (!snap.XidVisible(s.xmin, resolver)) return true;
+    if (charge_io) {
+      // Charge I/O for projected column blocks only.
+      uint64_t block = s.first_block;
+      for (int c = 0; c < static_cast<int>(s.columns.size()); c++) {
+        int64_t pages = static_cast<int64_t>(
+            static_cast<double>(s.column_bytes[static_cast<size_t>(c)]) /
+            (kCompressionRatio * static_cast<double>(pool_->page_bytes()))) + 1;
+        bool wanted = projection.empty();
+        for (int p : projection) {
+          if (p == c) wanted = true;
+        }
+        if (wanted) {
+          for (int64_t p = 0; p < pages; p++) {
+            if (!pool_->Access(
+                    BlockId{object_id_, block + static_cast<uint64_t>(p)},
+                    false)) {
+              return false;
+            }
+          }
+        }
+        block += static_cast<uint64_t>(pages);
+      }
+    }
+    sql::Row row(s.columns.size());
+    for (int64_t r = 0; r < s.rows; r++) {
+      for (size_t c = 0; c < s.columns.size(); c++) {
+        bool wanted = projection.empty();
+        for (int p : projection) {
+          if (p == static_cast<int>(c)) wanted = true;
+        }
+        row[c] = wanted ? s.columns[c][static_cast<size_t>(r)]
+                        : sql::Datum::Null();
+      }
+      if (!fn(row)) return false;
+    }
+    return true;
+  };
+  for (const auto& s : stripes_) {
+    if (!scan_stripe(s, /*charge_io=*/true)) return false;
+  }
+  if (open_active_ && !scan_stripe(open_, /*charge_io=*/false)) return false;
+  return true;
+}
+
+void ColumnarTable::Truncate() {
+  stripes_.clear();
+  open_ = Stripe{};
+  open_active_ = false;
+  data_bytes_ = 0;
+  next_block_ = 0;
+  pool_->Forget(object_id_);
+}
+
+}  // namespace citusx::storage

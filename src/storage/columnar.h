@@ -1,0 +1,70 @@
+// Columnar storage (cstore-style): append-only stripes with per-column
+// blocks, so scans only pay I/O for projected columns and benefit from a
+// modelled compression ratio. Matches Citus columnar semantics: no UPDATE or
+// DELETE, visibility at stripe granularity.
+#ifndef CITUSX_STORAGE_COLUMNAR_H_
+#define CITUSX_STORAGE_COLUMNAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/datum.h"
+#include "sql/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/mvcc.h"
+
+namespace citusx::storage {
+
+class ColumnarTable {
+ public:
+  static constexpr int64_t kStripeRows = 10000;
+  static constexpr double kCompressionRatio = 3.0;
+
+  ColumnarTable(uint64_t object_id, sql::Schema schema, BufferPool* pool)
+      : object_id_(object_id), schema_(std::move(schema)), pool_(pool) {}
+
+  const sql::Schema& schema() const { return schema_; }
+
+  /// Append a row (buffered into the open stripe). Charges I/O when a stripe
+  /// fills.
+  Status Insert(sql::Row row, TxnId xmin);
+
+  int64_t num_stripes() const { return static_cast<int64_t>(stripes_.size()); }
+  int64_t num_rows() const;
+  int64_t data_bytes() const { return data_bytes_; }
+
+  /// Iterate all rows visible to `snap`, charging I/O only for the columns
+  /// in `projection` (empty = all). The callback receives each full row
+  /// (non-projected columns are NULL). Returns false if cancelled.
+  bool Scan(const Snapshot& snap, const TxnStatusResolver& resolver,
+            const std::vector<int>& projection,
+            const std::function<bool(const sql::Row&)>& fn);
+
+  void Truncate();
+
+ private:
+  struct Stripe {
+    // Column-major storage.
+    std::vector<std::vector<sql::Datum>> columns;
+    std::vector<int64_t> column_bytes;
+    TxnId xmin = kInvalidTxn;
+    int64_t rows = 0;
+    uint64_t first_block = 0;
+  };
+
+  void SealStripe(TxnId xmin);
+
+  uint64_t object_id_;
+  sql::Schema schema_;
+  BufferPool* pool_;
+  std::vector<Stripe> stripes_;
+  Stripe open_;
+  bool open_active_ = false;
+  int64_t data_bytes_ = 0;
+  uint64_t next_block_ = 0;
+};
+
+}  // namespace citusx::storage
+
+#endif  // CITUSX_STORAGE_COLUMNAR_H_

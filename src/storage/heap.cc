@@ -1,0 +1,138 @@
+#include "storage/heap.h"
+
+namespace citusx::storage {
+
+namespace {
+int64_t RowBytes(const sql::Row& row) {
+  int64_t n = 24;  // tuple header
+  for (const auto& d : row) n += d.PhysicalSize();
+  return n;
+}
+}  // namespace
+
+Result<RowId> HeapTable::Insert(sql::Row row, TxnId xmin) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::Internal("row width does not match schema");
+  }
+  int64_t bytes = RowBytes(row);
+  bool new_block = false;
+  if (block_bytes_used_ + bytes > pool_->page_bytes() &&
+      block_bytes_used_ > 0) {
+    next_block_++;
+    block_bytes_used_ = 0;
+    new_block = true;
+  }
+  block_bytes_used_ += bytes;
+  data_bytes_ += bytes;
+  HeapRow hr;
+  hr.block_no = next_block_;
+  hr.versions.push_back(TupleVersion{std::move(row), xmin, kInvalidTxn});
+  rows_.push_back(std::move(hr));
+  RowId rid = static_cast<RowId>(rows_.size() - 1);
+  BlockId block{object_id_, rows_[rid].block_no};
+  if (new_block || rid == 0) {
+    pool_->AppendBlock(block);
+  } else {
+    pool_->Access(block, /*dirty=*/true);
+  }
+  return rid;
+}
+
+bool HeapTable::TouchRow(RowId rid, bool dirty) {
+  if (rid >= rows_.size()) return true;
+  return pool_->Access(BlockId{object_id_, rows_[rid].block_no}, dirty);
+}
+
+const TupleVersion* HeapTable::VisibleVersion(
+    RowId rid, const Snapshot& snap, const TxnStatusResolver& resolver) const {
+  if (rid >= rows_.size()) return nullptr;
+  const auto& versions = rows_[rid].versions;
+  // Newest-first: at most one version is visible to a snapshot.
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (VersionVisible(*it, snap, resolver)) return &*it;
+  }
+  return nullptr;
+}
+
+const TupleVersion* HeapTable::LatestVersion(
+    RowId rid, const TxnStatusResolver& resolver) const {
+  if (rid >= rows_.size()) return nullptr;
+  const auto& versions = rows_[rid].versions;
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (!resolver.IsAborted(it->xmin)) return &*it;
+  }
+  return nullptr;
+}
+
+Status HeapTable::UpdateRow(RowId rid, sql::Row new_row, TxnId xid,
+                            const TxnStatusResolver& resolver) {
+  if (rid >= rows_.size()) return Status::Internal("bad row id in update");
+  auto& versions = rows_[rid].versions;
+  TupleVersion* latest = nullptr;
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (!resolver.IsAborted(it->xmin)) {
+      latest = &*it;
+      break;
+    }
+  }
+  if (latest == nullptr || (latest->xmax != kInvalidTxn &&
+                            latest->xmax != xid &&
+                            !resolver.IsAborted(latest->xmax))) {
+    return Status::Aborted("row was deleted concurrently");
+  }
+  latest->xmax = xid;
+  int64_t bytes = RowBytes(new_row);
+  data_bytes_ += bytes;
+  dead_versions_++;  // the superseded version becomes garbage on commit
+  versions.push_back(TupleVersion{std::move(new_row), xid, kInvalidTxn});
+  return Status::OK();
+}
+
+Status HeapTable::DeleteRow(RowId rid, TxnId xid,
+                            const TxnStatusResolver& resolver) {
+  if (rid >= rows_.size()) return Status::Internal("bad row id in delete");
+  auto& versions = rows_[rid].versions;
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (!resolver.IsAborted(it->xmin)) {
+      if (it->xmax != kInvalidTxn && it->xmax != xid &&
+          !resolver.IsAborted(it->xmax)) {
+        return Status::Aborted("row was deleted concurrently");
+      }
+      it->xmax = xid;
+      dead_versions_++;
+      return Status::OK();
+    }
+  }
+  return Status::Aborted("row is gone");
+}
+
+int64_t HeapTable::Vacuum(TxnId oldest_active,
+                          const TxnStatusResolver& resolver) {
+  int64_t reclaimed = 0;
+  for (auto& hr : rows_) {
+    auto& versions = hr.versions;
+    for (auto it = versions.begin(); it != versions.end();) {
+      if (VersionDead(*it, oldest_active, resolver)) {
+        data_bytes_ -= RowBytes(it->row);
+        it = versions.erase(it);
+        reclaimed++;
+      } else {
+        ++it;
+      }
+    }
+  }
+  dead_versions_ -= reclaimed;
+  if (dead_versions_ < 0) dead_versions_ = 0;
+  return reclaimed;
+}
+
+void HeapTable::Truncate() {
+  rows_.clear();
+  next_block_ = 0;
+  block_bytes_used_ = 0;
+  data_bytes_ = 0;
+  dead_versions_ = 0;
+  pool_->Forget(object_id_);
+}
+
+}  // namespace citusx::storage

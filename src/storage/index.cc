@@ -1,0 +1,220 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/str.h"
+
+namespace citusx::storage {
+
+namespace {
+// Entry overhead: key datums + pointer + item header.
+int64_t EntryBytes(const IndexKey& key) {
+  int64_t n = 16;
+  for (const auto& d : key) n += d.PhysicalSize();
+  return n;
+}
+}  // namespace
+
+IndexKey BtreeIndex::KeyFromRow(const sql::Row& row) const {
+  IndexKey key;
+  key.reserve(key_columns_.size());
+  for (int c : key_columns_) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+uint64_t BtreeIndex::LeafPageFor(const IndexKey& key) const {
+  uint64_t h = 0;
+  for (const auto& d : key) {
+    h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(
+                      d.PartitionHash())));
+  }
+  return h % static_cast<uint64_t>(NumLeafPages());
+}
+
+bool BtreeIndex::Insert(const IndexKey& key, RowId rid) {
+  map_.emplace(key, rid);
+  size_bytes_ += EntryBytes(key);
+  return pool_->Access(BlockId{object_id_, LeafPageFor(key)}, /*dirty=*/true);
+}
+
+void BtreeIndex::Remove(const IndexKey& key, RowId rid) {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == rid) {
+      size_bytes_ -= EntryBytes(key);
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+bool BtreeIndex::EqualRange(const IndexKey& key, std::vector<RowId>* out) {
+  if (key.size() == key_columns_.size()) {
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+  } else {
+    // Prefix scan: [key, key+] using the comparator's prefix behaviour.
+    auto it = map_.lower_bound(key);
+    for (; it != map_.end(); ++it) {
+      bool prefix_match = true;
+      for (size_t i = 0; i < key.size(); i++) {
+        if (sql::Datum::Compare(it->first[i], key[i]) != 0) {
+          prefix_match = false;
+          break;
+        }
+      }
+      if (!prefix_match) break;
+      out->push_back(it->second);
+    }
+  }
+  return pool_->Access(BlockId{object_id_, LeafPageFor(key)}, /*dirty=*/false);
+}
+
+bool BtreeIndex::Range(const sql::Datum* lo, bool lo_inclusive,
+                       const sql::Datum* hi, bool hi_inclusive,
+                       std::vector<RowId>* out) {
+  auto it = map_.begin();
+  if (lo != nullptr) {
+    IndexKey lo_key = {*lo};
+    it = lo_inclusive ? map_.lower_bound(lo_key) : map_.upper_bound(lo_key);
+    if (!lo_inclusive) {
+      // upper_bound on a prefix key stops at the first key whose first column
+      // exceeds lo only if the comparator treats shorter keys as smaller;
+      // skip any keys equal on the first column.
+      while (it != map_.end() &&
+             sql::Datum::Compare(it->first[0], *lo) == 0) {
+        ++it;
+      }
+    }
+  }
+  int64_t touched = 0;
+  for (; it != map_.end(); ++it) {
+    if (hi != nullptr) {
+      int c = sql::Datum::Compare(it->first[0], *hi);
+      if (c > 0 || (c == 0 && !hi_inclusive)) break;
+    }
+    out->push_back(it->second);
+    touched++;
+  }
+  // Charge one leaf page per ~page worth of entries scanned.
+  int64_t entries_per_page =
+      std::max<int64_t>(1, pool_->page_bytes() / 32);
+  int64_t pages = touched / entries_per_page + 1;
+  bool ok = true;
+  uint64_t base = lo != nullptr
+                      ? LeafPageFor(IndexKey{*lo})
+                      : 0;
+  for (int64_t p = 0; p < pages; p++) {
+    ok = pool_->Access(
+        BlockId{object_id_,
+                (base + static_cast<uint64_t>(p)) %
+                    static_cast<uint64_t>(NumLeafPages())},
+        false);
+    if (!ok) break;
+  }
+  return ok;
+}
+
+// ---- GIN trigram index ----
+
+std::vector<std::string> GinTrgmIndex::ExtractTrigrams(
+    const std::string& text) {
+  std::string t = ToLower(text);
+  std::set<std::string> out;
+  if (t.size() < 3) {
+    if (!t.empty()) out.insert(t);
+  } else {
+    for (size_t i = 0; i + 3 <= t.size(); i++) out.insert(t.substr(i, 3));
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> GinTrgmIndex::PatternTrigrams(
+    const std::string& pattern) {
+  std::string p = ToLower(pattern);
+  std::set<std::string> out;
+  std::string run;
+  auto flush = [&] {
+    if (run.size() >= 3) {
+      for (size_t i = 0; i + 3 <= run.size(); i++) out.insert(run.substr(i, 3));
+    }
+    run.clear();
+  };
+  for (char c : p) {
+    if (c == '%' || c == '_') {
+      flush();
+    } else {
+      run.push_back(c);
+    }
+  }
+  flush();
+  return {out.begin(), out.end()};
+}
+
+uint64_t GinTrgmIndex::PageFor(const std::string& trgm) const {
+  int64_t pages = std::max<int64_t>(1, size_bytes_ / pool_->page_bytes());
+  return static_cast<uint64_t>(static_cast<uint32_t>(HashBytes(trgm))) %
+         static_cast<uint64_t>(pages);
+}
+
+int64_t GinTrgmIndex::Insert(const std::string& text, RowId rid) {
+  auto trigrams = ExtractTrigrams(text);
+  for (const auto& t : trigrams) {
+    auto& plist = postings_[t];
+    plist.push_back(rid);
+    size_bytes_ += 8 + (plist.size() == 1 ? 16 : 0);
+    pool_->Access(BlockId{object_id_, PageFor(t)}, /*dirty=*/true);
+  }
+  return static_cast<int64_t>(trigrams.size());
+}
+
+bool GinTrgmIndex::Candidates(const std::vector<std::string>& trigrams,
+                              std::vector<RowId>* out) {
+  bool first = true;
+  std::vector<RowId> current;
+  for (const auto& t : trigrams) {
+    if (!pool_->Access(BlockId{object_id_, PageFor(t)}, false)) return false;
+    auto it = postings_.find(t);
+    if (it == postings_.end()) {
+      out->clear();
+      return true;
+    }
+    std::vector<RowId> sorted = it->second;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    if (first) {
+      current = std::move(sorted);
+      first = false;
+    } else {
+      std::vector<RowId> merged;
+      std::set_intersection(current.begin(), current.end(), sorted.begin(),
+                            sorted.end(), std::back_inserter(merged));
+      current = std::move(merged);
+    }
+    if (current.empty()) break;
+  }
+  *out = std::move(current);
+  return true;
+}
+
+void GinTrgmIndex::Remove(const std::string& text, RowId rid) {
+  for (const auto& t : ExtractTrigrams(text)) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) continue;
+    auto& plist = it->second;
+    for (auto pit = plist.begin(); pit != plist.end(); ++pit) {
+      if (*pit == rid) {
+        plist.erase(pit);
+        size_bytes_ -= 8;
+        break;
+      }
+    }
+    if (plist.empty()) {
+      postings_.erase(it);
+      size_bytes_ -= 16;
+    }
+  }
+}
+
+}  // namespace citusx::storage

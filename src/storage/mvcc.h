@@ -1,0 +1,75 @@
+// MVCC primitives: transaction ids, snapshots, tuple version visibility.
+#ifndef CITUSX_STORAGE_MVCC_H_
+#define CITUSX_STORAGE_MVCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/datum.h"
+
+namespace citusx::storage {
+
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxn = 0;
+
+/// Resolves the commit status of transaction ids (implemented by the
+/// engine's transaction manager; storage is agnostic of txn lifecycle).
+class TxnStatusResolver {
+ public:
+  virtual ~TxnStatusResolver() = default;
+  virtual bool IsCommitted(TxnId xid) const = 0;
+  virtual bool IsAborted(TxnId xid) const = 0;
+};
+
+/// An MVCC snapshot: transactions < xmax that are not in `in_progress`
+/// (and committed) are visible; `self` sees its own writes.
+struct Snapshot {
+  TxnId self = kInvalidTxn;
+  TxnId xmax = 0;                  // first unassigned txn id at snapshot time
+  std::vector<TxnId> in_progress;  // sorted
+
+  bool XidInProgress(TxnId xid) const {
+    for (TxnId t : in_progress) {
+      if (t == xid) return true;
+      if (t > xid) break;
+    }
+    return false;
+  }
+
+  /// True if effects of `xid` are visible to this snapshot.
+  bool XidVisible(TxnId xid, const TxnStatusResolver& resolver) const {
+    if (xid == kInvalidTxn) return false;
+    if (xid == self) return true;
+    if (xid >= xmax) return false;
+    if (XidInProgress(xid)) return false;
+    return resolver.IsCommitted(xid);
+  }
+};
+
+/// One version of a tuple in an MVCC version chain.
+struct TupleVersion {
+  sql::Row row;
+  TxnId xmin = kInvalidTxn;  // creating transaction
+  TxnId xmax = kInvalidTxn;  // deleting/superseding transaction (0 = live)
+};
+
+/// Standard PostgreSQL-style visibility check.
+inline bool VersionVisible(const TupleVersion& v, const Snapshot& snap,
+                           const TxnStatusResolver& resolver) {
+  if (!snap.XidVisible(v.xmin, resolver)) return false;
+  if (v.xmax != kInvalidTxn && snap.XidVisible(v.xmax, resolver)) return false;
+  return true;
+}
+
+/// True if every transaction that could see this version is gone:
+/// the version was deleted by a committed transaction older than `oldest`.
+inline bool VersionDead(const TupleVersion& v, TxnId oldest_active,
+                        const TxnStatusResolver& resolver) {
+  if (resolver.IsAborted(v.xmin)) return true;
+  if (v.xmax == kInvalidTxn) return false;
+  return v.xmax < oldest_active && resolver.IsCommitted(v.xmax);
+}
+
+}  // namespace citusx::storage
+
+#endif  // CITUSX_STORAGE_MVCC_H_

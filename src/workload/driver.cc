@@ -1,0 +1,50 @@
+#include "workload/driver.h"
+
+#include <cstdio>
+
+namespace citusx::workload {
+
+DriverResult RunDriver(sim::Simulation* sim, net::NodeDirectory* directory,
+                       const DriverOptions& options, const ClientTxn& txn) {
+  DriverResult result;
+  sim::Time start_measure = sim->now() + options.warmup;
+  sim::Time end = start_measure + options.duration;
+  for (int c = 0; c < options.clients; c++) {
+    const std::string& endpoint =
+        options.endpoints[static_cast<size_t>(c) % options.endpoints.size()];
+    sim->Spawn("client", [=, &result, &options]() {
+      Rng rng(static_cast<uint64_t>(c) * 7919 + 17);
+      auto conn = directory->Connect(nullptr, endpoint);
+      if (!conn.ok()) {
+        std::fprintf(stderr, "client %d: %s\n", c,
+                     conn.status().ToString().c_str());
+        return;
+      }
+      while (sim->now() < end) {
+        sim::Time t0 = sim->now();
+        Status st = txn(**conn, c, rng);
+        sim::Time t1 = sim->now();
+        if (t0 >= start_measure && t1 <= end) {
+          if (st.ok()) {
+            result.transactions++;
+            result.latency.Record(t1 - t0);
+          } else if (st.IsDeadlock() || st.IsAborted()) {
+            // Retryable aborts: part of normal OLTP operation.
+            result.aborts++;
+          } else {
+            result.errors++;
+            result.last_error = st.ToString();
+          }
+        }
+        if (options.sleep_between > 0 && !sim->WaitFor(options.sleep_between)) {
+          break;
+        }
+      }
+    });
+  }
+  sim->Run();
+  result.measured_time = options.duration;
+  return result;
+}
+
+}  // namespace citusx::workload

@@ -1,0 +1,56 @@
+// Benchmark driver: spawns N simulated clients that run transactions
+// against the cluster for a fixed (virtual) duration and reports
+// throughput + latency percentiles, like the paper's benchmark drivers
+// (HammerDB / YCSB / pgbench) on a separate driver node.
+#ifndef CITUSX_WORKLOAD_DRIVER_H_
+#define CITUSX_WORKLOAD_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+#include "sim/histogram.h"
+
+namespace citusx::workload {
+
+struct DriverOptions {
+  int clients = 32;
+  sim::Time warmup = 2 * sim::kSecond;
+  sim::Time duration = 20 * sim::kSecond;
+  /// Virtual think time between transactions (HammerDB "keying time").
+  sim::Time sleep_between = 1 * sim::kMillisecond;
+  /// Round-robin client connections over these node names.
+  std::vector<std::string> endpoints = {"coordinator"};
+};
+
+struct DriverResult {
+  int64_t transactions = 0;  // completed after warmup
+  int64_t errors = 0;        // non-abort errors
+  int64_t aborts = 0;        // deadlock/serialization aborts (retryable)
+  std::string last_error;
+  sim::Time measured_time = 0;
+  sim::Histogram latency;  // nanoseconds
+
+  double PerSecond() const {
+    return measured_time > 0 ? static_cast<double>(transactions) * 1e9 /
+                                   static_cast<double>(measured_time)
+                             : 0;
+  }
+  double PerMinute() const { return PerSecond() * 60.0; }
+};
+
+/// One client transaction: gets its connection and a per-client RNG seed;
+/// returns OK / error. The driver records latency around the call.
+using ClientTxn =
+    std::function<Status(net::Connection& conn, int client_id, Rng& rng)>;
+
+/// Run the workload and collect results. Must be called from outside the
+/// simulation (spawns client processes and runs the sim to completion).
+DriverResult RunDriver(sim::Simulation* sim, net::NodeDirectory* directory,
+                       const DriverOptions& options, const ClientTxn& txn);
+
+}  // namespace citusx::workload
+
+#endif  // CITUSX_WORKLOAD_DRIVER_H_

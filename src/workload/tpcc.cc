@@ -1,0 +1,484 @@
+#include "workload/tpcc.h"
+
+#include "common/str.h"
+#include "engine/session.h"
+
+namespace citusx::workload {
+
+namespace {
+
+constexpr int kInitialNextOid = 1;  // orders are loaded with o_id < next
+
+std::string PadText(Rng& rng, int min_len, int max_len) {
+  return rng.AlphaString(min_len, max_len);
+}
+
+}  // namespace
+
+TpccCounters& GlobalTpccCounters() {
+  static TpccCounters counters;
+  return counters;
+}
+
+Status TpccCreateSchema(net::Connection& conn, const TpccConfig& config) {
+  const char* ddl[] = {
+      "CREATE TABLE warehouse (w_id bigint PRIMARY KEY, w_name text, "
+      "w_city text, w_tax double precision, w_ytd double precision)",
+      "CREATE TABLE district (d_w_id bigint, d_id bigint, d_name text, "
+      "d_city text, d_tax double precision, d_ytd double precision, "
+      "d_next_o_id bigint, PRIMARY KEY (d_w_id, d_id))",
+      "CREATE TABLE customer (c_w_id bigint, c_d_id bigint, c_id bigint, "
+      "c_name text, c_credit text, c_balance double precision, "
+      "c_ytd_payment double precision, c_payment_cnt bigint, "
+      "PRIMARY KEY (c_w_id, c_d_id, c_id))",
+      "CREATE TABLE history (h_w_id bigint, h_d_id bigint, h_c_id bigint, "
+      "h_date timestamp, h_amount double precision)",
+      "CREATE TABLE orders (o_w_id bigint, o_d_id bigint, o_id bigint, "
+      "o_c_id bigint, o_entry_d timestamp, o_ol_cnt bigint, "
+      "PRIMARY KEY (o_w_id, o_d_id, o_id))",
+      "CREATE TABLE new_order (no_w_id bigint, no_d_id bigint, no_o_id bigint, "
+      "PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+      "CREATE TABLE order_line (ol_w_id bigint, ol_d_id bigint, ol_o_id bigint, "
+      "ol_number bigint, ol_i_id bigint, ol_supply_w_id bigint, "
+      "ol_quantity bigint, ol_amount double precision, "
+      "PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+      "CREATE TABLE stock (s_w_id bigint, s_i_id bigint, s_quantity bigint, "
+      "s_ytd bigint, s_order_cnt bigint, PRIMARY KEY (s_w_id, s_i_id))",
+      "CREATE TABLE item (i_id bigint PRIMARY KEY, i_name text, "
+      "i_price double precision)",
+  };
+  for (const char* stmt : ddl) {
+    auto r = conn.Query(stmt);
+    if (!r.ok()) return r.status();
+  }
+  if (config.use_citus) {
+    // Distribute and co-locate by warehouse id; items become a reference
+    // table (§4.1).
+    const char* dist[] = {
+        "SELECT create_distributed_table('warehouse', 'w_id')",
+        "SELECT create_distributed_table('district', 'd_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('customer', 'c_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('history', 'h_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('orders', 'o_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('new_order', 'no_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('order_line', 'ol_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_distributed_table('stock', 's_w_id', "
+        "colocate_with := 'warehouse')",
+        "SELECT create_reference_table('item')",
+    };
+    for (const char* stmt : dist) {
+      auto r = conn.Query(stmt);
+      if (!r.ok()) return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status TpccDistributeProcedures(net::Connection& conn) {
+  const char* calls[] = {
+      "SELECT create_distributed_procedure('tpcc_neworder', 0, 'warehouse')",
+      "SELECT create_distributed_procedure('tpcc_payment', 0, 'warehouse')",
+      "SELECT create_distributed_procedure('tpcc_ostat', 0, 'warehouse')",
+      "SELECT create_distributed_procedure('tpcc_delivery', 0, 'warehouse')",
+      "SELECT create_distributed_procedure('tpcc_slev', 0, 'warehouse')",
+  };
+  for (const char* stmt : calls) {
+    auto r = conn.Query(stmt);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Status TpccLoad(net::Connection& conn, const TpccConfig& config, int first_w,
+                int last_w) {
+  Rng rng(99);
+  // Items (once, not per warehouse).
+  if (first_w == 1) {
+    std::vector<std::vector<std::string>> items;
+    for (int i = 1; i <= config.items; i++) {
+      items.push_back({std::to_string(i), PadText(rng, 14, 24),
+                       StrFormat("%.2f", 1.0 + rng.NextDouble() * 99.0)});
+    }
+    auto r = conn.CopyIn("item", {}, std::move(items));
+    if (!r.ok()) return r.status();
+  }
+  for (int w = first_w; w <= last_w; w++) {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({std::to_string(w), PadText(rng, 6, 10), PadText(rng, 10, 20),
+                    StrFormat("%.4f", rng.NextDouble() * 0.2),
+                    "300000.0"});
+    auto r = conn.CopyIn("warehouse", {}, std::move(rows));
+    if (!r.ok()) return r.status();
+    // Districts.
+    std::vector<std::vector<std::string>> districts;
+    for (int d = 1; d <= config.districts_per_warehouse; d++) {
+      districts.push_back(
+          {std::to_string(w), std::to_string(d), PadText(rng, 6, 10),
+           PadText(rng, 10, 20), StrFormat("%.4f", rng.NextDouble() * 0.2),
+           "30000.0", std::to_string(config.orders_per_district + 1)});
+    }
+    r = conn.CopyIn("district", {}, std::move(districts));
+    if (!r.ok()) return r.status();
+    // Customers.
+    std::vector<std::vector<std::string>> customers;
+    for (int d = 1; d <= config.districts_per_warehouse; d++) {
+      for (int c = 1; c <= config.customers_per_district; c++) {
+        customers.push_back({std::to_string(w), std::to_string(d),
+                             std::to_string(c), PadText(rng, 12, 20),
+                             rng.Chance(0.1) ? "BC" : "GC", "-10.0", "10.0",
+                             "1"});
+      }
+    }
+    r = conn.CopyIn("customer", {}, std::move(customers));
+    if (!r.ok()) return r.status();
+    // Stock.
+    std::vector<std::vector<std::string>> stock;
+    for (int i = 1; i <= config.items; i++) {
+      stock.push_back({std::to_string(w), std::to_string(i),
+                       std::to_string(rng.Uniform(10, 100)), "0", "0"});
+    }
+    r = conn.CopyIn("stock", {}, std::move(stock));
+    if (!r.ok()) return r.status();
+    // Orders + order lines + new orders (last third are "new").
+    std::vector<std::vector<std::string>> orders, lines, news;
+    for (int d = 1; d <= config.districts_per_warehouse; d++) {
+      for (int o = 1; o <= config.orders_per_district; o++) {
+        int ol_cnt = static_cast<int>(rng.Uniform(5, 15));
+        orders.push_back({std::to_string(w), std::to_string(d),
+                          std::to_string(o),
+                          std::to_string(rng.Uniform(1, config.customers_per_district)),
+                          "2020-01-01 00:00:00", std::to_string(ol_cnt)});
+        for (int l = 1; l <= ol_cnt; l++) {
+          lines.push_back({std::to_string(w), std::to_string(d),
+                           std::to_string(o), std::to_string(l),
+                           std::to_string(rng.Uniform(1, config.items)),
+                           std::to_string(w), "5",
+                           StrFormat("%.2f", rng.NextDouble() * 9999.0)});
+        }
+        if (o > config.orders_per_district * 2 / 3) {
+          news.push_back(
+              {std::to_string(w), std::to_string(d), std::to_string(o)});
+        }
+      }
+    }
+    r = conn.CopyIn("orders", {}, std::move(orders));
+    if (!r.ok()) return r.status();
+    r = conn.CopyIn("order_line", {}, std::move(lines));
+    if (!r.ok()) return r.status();
+    r = conn.CopyIn("new_order", {}, std::move(news));
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using engine::QueryResult;
+using engine::Session;
+using sql::Datum;
+
+Result<QueryResult> Exec(Session& s, const std::string& sql) {
+  return s.Execute(sql);
+}
+
+// NEW ORDER: update district next_o_id, insert order/new_order, per line:
+// read item (reference), update stock, insert order_line.
+Result<QueryResult> NewOrderProc(Session& s, const std::vector<Datum>& args,
+                                 const TpccConfig& config) {
+  int64_t w = args[0].AsInt64();
+  int64_t d = args[1].AsInt64();
+  int64_t c = args[2].AsInt64();
+  int64_t ol_cnt = args[3].AsInt64();
+  uint64_t seed = static_cast<uint64_t>(args[4].AsInt64());
+  Rng rng(seed);
+  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
+  auto fail = [&](const Status& st) -> Status {
+    auto rb = Exec(s, "ROLLBACK");
+    (void)rb;
+    return st;
+  };
+  auto district = Exec(
+      s, StrFormat("SELECT d_next_o_id, d_tax FROM district WHERE d_w_id = %lld "
+                   "AND d_id = %lld FOR UPDATE",
+                   static_cast<long long>(w), static_cast<long long>(d)));
+  if (!district.ok()) return fail(district.status());
+  if (district->rows.empty()) return fail(Status::NotFound("district missing"));
+  int64_t o_id = district->rows[0][0].AsInt64();
+  auto upd = Exec(s, StrFormat("UPDATE district SET d_next_o_id = %lld WHERE "
+                               "d_w_id = %lld AND d_id = %lld",
+                               static_cast<long long>(o_id + 1),
+                               static_cast<long long>(w),
+                               static_cast<long long>(d)));
+  if (!upd.ok()) return fail(upd.status());
+  auto ins = Exec(
+      s, StrFormat("INSERT INTO orders VALUES (%lld, %lld, %lld, %lld, "
+                   "'2021-01-01 00:00:00', %lld)",
+                   static_cast<long long>(w), static_cast<long long>(d),
+                   static_cast<long long>(o_id), static_cast<long long>(c),
+                   static_cast<long long>(ol_cnt)));
+  if (!ins.ok()) return fail(ins.status());
+  ins = Exec(s, StrFormat("INSERT INTO new_order VALUES (%lld, %lld, %lld)",
+                          static_cast<long long>(w), static_cast<long long>(d),
+                          static_cast<long long>(o_id)));
+  if (!ins.ok()) return fail(ins.status());
+  for (int64_t l = 1; l <= ol_cnt; l++) {
+    int64_t item = rng.Uniform(1, config.items);
+    int64_t supply_w =
+        rng.Chance(config.neworder_remote_item_pct) && config.warehouses > 1
+            ? (w % config.warehouses) + 1
+            : w;
+    auto price = Exec(s, StrFormat("SELECT i_price FROM item WHERE i_id = %lld",
+                                   static_cast<long long>(item)));
+    if (!price.ok()) return fail(price.status());
+    if (price->rows.empty()) return fail(Status::NotFound("item missing"));
+    auto stock = Exec(
+        s, StrFormat("UPDATE stock SET s_quantity = s_quantity - 1, "
+                     "s_ytd = s_ytd + 1, s_order_cnt = s_order_cnt + 1 "
+                     "WHERE s_w_id = %lld AND s_i_id = %lld",
+                     static_cast<long long>(supply_w),
+                     static_cast<long long>(item)));
+    if (!stock.ok()) return fail(stock.status());
+    auto line = Exec(
+        s, StrFormat("INSERT INTO order_line VALUES (%lld, %lld, %lld, %lld, "
+                     "%lld, %lld, 1, %.2f)",
+                     static_cast<long long>(w), static_cast<long long>(d),
+                     static_cast<long long>(o_id), static_cast<long long>(l),
+                     static_cast<long long>(item),
+                     static_cast<long long>(supply_w),
+                     price->rows[0][0].AsDouble()));
+    if (!line.ok()) return fail(line.status());
+  }
+  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
+  (void)began;
+  (void)committed;
+  GlobalTpccCounters().new_orders++;
+  QueryResult out;
+  out.command_tag = "CALL";
+  return out;
+}
+
+Result<QueryResult> PaymentProc(Session& s, const std::vector<Datum>& args,
+                                const TpccConfig& config) {
+  int64_t w = args[0].AsInt64();
+  int64_t d = args[1].AsInt64();
+  int64_t c_w = args[2].AsInt64();  // customer warehouse (may be remote)
+  int64_t c_d = args[3].AsInt64();
+  int64_t c = args[4].AsInt64();
+  double amount = args[5].AsDouble();
+  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
+  (void)began;
+  auto fail = [&](const Status& st) -> Status {
+    auto rb = Exec(s, "ROLLBACK");
+    (void)rb;
+    return st;
+  };
+  auto r = Exec(s, StrFormat("UPDATE warehouse SET w_ytd = w_ytd + %.2f "
+                             "WHERE w_id = %lld",
+                             amount, static_cast<long long>(w)));
+  if (!r.ok()) return fail(r.status());
+  r = Exec(s, StrFormat("UPDATE district SET d_ytd = d_ytd + %.2f WHERE "
+                        "d_w_id = %lld AND d_id = %lld",
+                        amount, static_cast<long long>(w),
+                        static_cast<long long>(d)));
+  if (!r.ok()) return fail(r.status());
+  r = Exec(s, StrFormat(
+                  "UPDATE customer SET c_balance = c_balance - %.2f, "
+                  "c_ytd_payment = c_ytd_payment + %.2f, c_payment_cnt = "
+                  "c_payment_cnt + 1 WHERE c_w_id = %lld AND c_d_id = %lld "
+                  "AND c_id = %lld",
+                  amount, amount, static_cast<long long>(c_w),
+                  static_cast<long long>(c_d), static_cast<long long>(c)));
+  if (!r.ok()) return fail(r.status());
+  r = Exec(s, StrFormat("INSERT INTO history VALUES (%lld, %lld, %lld, "
+                        "'2021-01-01 00:00:00', %.2f)",
+                        static_cast<long long>(w), static_cast<long long>(d),
+                        static_cast<long long>(c), amount));
+  if (!r.ok()) return fail(r.status());
+  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
+  (void)committed;
+  QueryResult out;
+  out.command_tag = "CALL";
+  return out;
+}
+
+Result<QueryResult> OrderStatusProc(Session& s,
+                                    const std::vector<Datum>& args) {
+  int64_t w = args[0].AsInt64();
+  int64_t d = args[1].AsInt64();
+  int64_t c = args[2].AsInt64();
+  CITUSX_ASSIGN_OR_RETURN(
+      QueryResult last_order,
+      Exec(s, StrFormat("SELECT o_id, o_entry_d FROM orders WHERE o_w_id = "
+                        "%lld AND o_d_id = %lld AND o_c_id = %lld "
+                        "ORDER BY o_id DESC LIMIT 1",
+                        static_cast<long long>(w), static_cast<long long>(d),
+                        static_cast<long long>(c))));
+  if (!last_order.rows.empty()) {
+    int64_t o_id = last_order.rows[0][0].AsInt64();
+    CITUSX_ASSIGN_OR_RETURN(
+        QueryResult lines,
+        Exec(s, StrFormat("SELECT ol_i_id, ol_quantity, ol_amount FROM "
+                          "order_line WHERE ol_w_id = %lld AND ol_d_id = %lld "
+                          "AND ol_o_id = %lld",
+                          static_cast<long long>(w),
+                          static_cast<long long>(d),
+                          static_cast<long long>(o_id))));
+    (void)lines;
+  }
+  QueryResult out;
+  out.command_tag = "CALL";
+  return out;
+}
+
+Result<QueryResult> DeliveryProc(Session& s, const std::vector<Datum>& args,
+                                 const TpccConfig& config) {
+  int64_t w = args[0].AsInt64();
+  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
+  (void)began;
+  auto fail = [&](const Status& st) -> Status {
+    auto rb = Exec(s, "ROLLBACK");
+    (void)rb;
+    return st;
+  };
+  for (int64_t d = 1; d <= config.districts_per_warehouse; d++) {
+    auto oldest = Exec(
+        s, StrFormat("SELECT no_o_id FROM new_order WHERE no_w_id = %lld AND "
+                     "no_d_id = %lld ORDER BY no_o_id LIMIT 1",
+                     static_cast<long long>(w), static_cast<long long>(d)));
+    if (!oldest.ok()) return fail(oldest.status());
+    if (oldest->rows.empty()) continue;
+    int64_t o_id = oldest->rows[0][0].AsInt64();
+    auto del = Exec(
+        s, StrFormat("DELETE FROM new_order WHERE no_w_id = %lld AND "
+                     "no_d_id = %lld AND no_o_id = %lld",
+                     static_cast<long long>(w), static_cast<long long>(d),
+                     static_cast<long long>(o_id)));
+    if (!del.ok()) return fail(del.status());
+  }
+  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
+  (void)committed;
+  QueryResult out;
+  out.command_tag = "CALL";
+  return out;
+}
+
+Result<QueryResult> StockLevelProc(Session& s,
+                                   const std::vector<Datum>& args) {
+  int64_t w = args[0].AsInt64();
+  int64_t d = args[1].AsInt64();
+  // Join recent order lines with stock under a threshold.
+  CITUSX_ASSIGN_OR_RETURN(
+      QueryResult r,
+      Exec(s, StrFormat(
+                  "SELECT count(DISTINCT s_i_id) FROM order_line JOIN stock "
+                  "ON ol_w_id = s_w_id AND ol_i_id = s_i_id WHERE "
+                  "ol_w_id = %lld AND ol_d_id = %lld AND s_quantity < 20",
+                  static_cast<long long>(w), static_cast<long long>(d))));
+  (void)r;
+  QueryResult out;
+  out.command_tag = "CALL";
+  return out;
+}
+
+}  // namespace
+
+void TpccRegisterProcedures(engine::Node* node, const TpccConfig& config) {
+  node->RegisterProcedure(
+      "tpcc_neworder",
+      [config](Session& s, const std::vector<Datum>& args) {
+        return NewOrderProc(s, args, config);
+      });
+  node->RegisterProcedure(
+      "tpcc_payment",
+      [config](Session& s, const std::vector<Datum>& args) {
+        return PaymentProc(s, args, config);
+      });
+  node->RegisterProcedure(
+      "tpcc_ostat", [](Session& s, const std::vector<Datum>& args) {
+        return OrderStatusProc(s, args);
+      });
+  node->RegisterProcedure(
+      "tpcc_delivery",
+      [config](Session& s, const std::vector<Datum>& args) {
+        return DeliveryProc(s, args, config);
+      });
+  node->RegisterProcedure(
+      "tpcc_slev", [](Session& s, const std::vector<Datum>& args) {
+        return StockLevelProc(s, args);
+      });
+}
+
+ClientTxn TpccMix(const TpccConfig& config) {
+  return [config](net::Connection& conn, int client_id, Rng& rng) -> Status {
+    int64_t w = rng.Uniform(1, config.warehouses);
+    int64_t d = rng.Uniform(1, config.districts_per_warehouse);
+    int64_t c = rng.NURand(255, 1, config.customers_per_district, 7);
+    int roll = static_cast<int>(rng.Uniform(1, 100));
+    Result<engine::QueryResult> r = Status::Internal("unset");
+    if (roll <= 45) {
+      int64_t ol_cnt = rng.Uniform(5, 15);
+      r = conn.Query(StrFormat(
+          "CALL tpcc_neworder(%lld, %lld, %lld, %lld, %lld)",
+          static_cast<long long>(w), static_cast<long long>(d),
+          static_cast<long long>(c), static_cast<long long>(ol_cnt),
+          static_cast<long long>(rng.Next() % 1000000)));
+    } else if (roll <= 88) {
+      // 15% of payments pay a customer of a remote warehouse: these become
+      // multi-node distributed transactions.
+      int64_t c_w = w;
+      if (config.warehouses > 1 && rng.Chance(config.payment_remote_pct)) {
+        do {
+          c_w = rng.Uniform(1, config.warehouses);
+        } while (c_w == w);
+      }
+      r = conn.Query(StrFormat(
+          "CALL tpcc_payment(%lld, %lld, %lld, %lld, %lld, %.2f)",
+          static_cast<long long>(w), static_cast<long long>(d),
+          static_cast<long long>(c_w), static_cast<long long>(d),
+          static_cast<long long>(c), 1.0 + rng.NextDouble() * 4999.0));
+    } else if (roll <= 92) {
+      r = conn.Query(StrFormat("CALL tpcc_ostat(%lld, %lld, %lld)",
+                               static_cast<long long>(w),
+                               static_cast<long long>(d),
+                               static_cast<long long>(c)));
+    } else if (roll <= 96) {
+      r = conn.Query(StrFormat("CALL tpcc_delivery(%lld)",
+                               static_cast<long long>(w)));
+    } else {
+      r = conn.Query(StrFormat("CALL tpcc_slev(%lld, %lld)",
+                               static_cast<long long>(w),
+                               static_cast<long long>(d)));
+    }
+    return r.status();
+  };
+}
+
+Status TpccCheckConsistency(net::Connection& conn, const TpccConfig& config) {
+  // For every district: d_next_o_id - 1 == max(o_id) of its orders.
+  CITUSX_ASSIGN_OR_RETURN(
+      engine::QueryResult next,
+      conn.Query("SELECT sum(d_next_o_id) FROM district"));
+  CITUSX_ASSIGN_OR_RETURN(
+      engine::QueryResult orders,
+      conn.Query("SELECT count(*) FROM orders"));
+  int64_t total_next = next.rows[0][0].AsInt64();
+  int64_t district_count =
+      static_cast<int64_t>(config.warehouses) * config.districts_per_warehouse;
+  int64_t expected_orders = total_next - district_count;
+  if (orders.rows[0][0].AsInt64() != expected_orders) {
+    return Status::Internal(StrFormat(
+        "order count %lld does not match district counters %lld",
+        static_cast<long long>(orders.rows[0][0].AsInt64()),
+        static_cast<long long>(expected_orders)));
+  }
+  (void)kInitialNextOid;
+  return Status::OK();
+}
+
+}  // namespace citusx::workload

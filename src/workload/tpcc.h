@@ -1,0 +1,65 @@
+// HammerDB-style TPC-C-derived workload (paper §4.1): an order-processing
+// multi-tenant OLTP workload where warehouses are the tenants. Tables are
+// distributed and co-located by warehouse id; `item` is a reference table;
+// stored procedures are delegated by warehouse id.
+//
+// Scaled down from TPC-C defaults (items/customers/orders per district) so a
+// single simulated node's buffer pool can't hold the working set while a
+// 4-worker cluster can — the memory-fit effect behind Figure 6.
+#ifndef CITUSX_WORKLOAD_TPCC_H_
+#define CITUSX_WORKLOAD_TPCC_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/node.h"
+#include "net/cluster.h"
+#include "workload/driver.h"
+
+namespace citusx::workload {
+
+struct TpccConfig {
+  int warehouses = 50;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 120;
+  int items = 2000;
+  int orders_per_district = 120;
+  /// Fraction of payments hitting a remote warehouse (HammerDB default 15%;
+  /// combined with new-order remote lines this yields the paper's ~7%
+  /// multi-node transactions).
+  double payment_remote_pct = 0.15;
+  double neworder_remote_item_pct = 0.01;
+  bool use_citus = true;  // distribute + delegate; false = plain local tables
+};
+
+/// Create the TPC-C schema (and distribute it when use_citus).
+Status TpccCreateSchema(net::Connection& conn, const TpccConfig& config);
+
+/// Bulk-load warehouses [first_w, last_w] through COPY.
+Status TpccLoad(net::Connection& conn, const TpccConfig& config, int first_w,
+                int last_w);
+
+/// Register the five TPC-C stored procedures on `node` (all nodes must get
+/// them so delegation works).
+void TpccRegisterProcedures(engine::Node* node, const TpccConfig& config);
+
+/// Register delegation metadata (after create_distributed_table).
+Status TpccDistributeProcedures(net::Connection& conn);
+
+/// The HammerDB transaction mix (new order 45%, payment 43%, order status
+/// 4%, delivery 4%, stock level 4%). Returns the driver transaction.
+ClientTxn TpccMix(const TpccConfig& config);
+
+/// Only new-order transactions counted (NOPM reports new orders).
+struct TpccCounters {
+  int64_t new_orders = 0;
+};
+TpccCounters& GlobalTpccCounters();
+
+/// Consistency check: sum(d_next_o_id - initial) == new order count etc.
+/// Returns a human-readable failure or OK.
+Status TpccCheckConsistency(net::Connection& conn, const TpccConfig& config);
+
+}  // namespace citusx::workload
+
+#endif  // CITUSX_WORKLOAD_TPCC_H_

@@ -1,0 +1,272 @@
+#include "workload/tpch.h"
+
+#include "common/rng.h"
+#include "common/str.h"
+
+namespace citusx::workload {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kNations[] = {"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+                          "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+                          "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+                          "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+                          "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+                          "UNITED STATES"};
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kShipInstruct[] = {"COLLECT COD", "DELIVER IN PERSON", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kTypes[] = {"PROMO BRUSHED COPPER", "PROMO BURNISHED STEEL",
+                        "ECONOMY ANODIZED BRASS", "STANDARD POLISHED TIN",
+                        "MEDIUM PLATED NICKEL", "SMALL BRUSHED STEEL"};
+const char* kContainers[] = {"SM CASE", "SM BOX", "SM PACK", "SM PKG",
+                             "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+                             "LG CASE", "LG BOX", "LG PACK", "LG PKG"};
+
+std::string RandomDate(Rng& rng, int year_lo, int year_hi) {
+  int y = static_cast<int>(rng.Uniform(year_lo, year_hi));
+  int m = static_cast<int>(rng.Uniform(1, 12));
+  int d = static_cast<int>(rng.Uniform(1, 28));
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace
+
+Status TpchCreateSchema(net::Connection& conn, const TpchConfig& config) {
+  const char* ddl[] = {
+      "CREATE TABLE region (r_regionkey bigint PRIMARY KEY, r_name text)",
+      "CREATE TABLE nation (n_nationkey bigint PRIMARY KEY, n_name text, "
+      "n_regionkey bigint)",
+      "CREATE TABLE supplier (s_suppkey bigint PRIMARY KEY, s_name text, "
+      "s_nationkey bigint)",
+      "CREATE TABLE customer (c_custkey bigint PRIMARY KEY, c_name text, "
+      "c_nationkey bigint, c_acctbal double precision, c_mktsegment text)",
+      "CREATE TABLE part (p_partkey bigint PRIMARY KEY, p_name text, "
+      "p_brand text, p_type text, p_size bigint, p_container text, "
+      "p_retailprice double precision)",
+      "CREATE TABLE orders (o_orderkey bigint PRIMARY KEY, o_custkey bigint, "
+      "o_orderstatus text, o_totalprice double precision, o_orderdate date, "
+      "o_orderpriority text, o_shippriority bigint)",
+      "CREATE TABLE lineitem (l_orderkey bigint, l_partkey bigint, "
+      "l_suppkey bigint, l_linenumber bigint, l_quantity double precision, "
+      "l_extendedprice double precision, l_discount double precision, "
+      "l_tax double precision, l_returnflag text, l_linestatus text, "
+      "l_shipdate date, l_commitdate date, l_receiptdate date, "
+      "l_shipinstruct text, l_shipmode text)",
+  };
+  for (const char* stmt : ddl) {
+    auto r = conn.Query(stmt);
+    if (!r.ok()) return r.status();
+  }
+  if (config.use_citus) {
+    if (config.columnar) {
+      auto r = conn.Query("SET citusx.shard_access_method = 'columnar'");
+      if (!r.ok()) return r.status();
+    }
+    const char* dist[] = {
+        "SELECT create_distributed_table('orders', 'o_orderkey')",
+        "SELECT create_distributed_table('lineitem', 'l_orderkey', "
+        "colocate_with := 'orders')",
+        "SELECT create_reference_table('region')",
+        "SELECT create_reference_table('nation')",
+        "SELECT create_reference_table('supplier')",
+        "SELECT create_reference_table('customer')",
+        "SELECT create_reference_table('part')",
+    };
+    for (const char* stmt : dist) {
+      auto r = conn.Query(stmt);
+      if (!r.ok()) return r.status();
+    }
+    if (config.columnar) {
+      auto r = conn.Query("SET citusx.shard_access_method = ''");
+      if (!r.ok()) return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status TpchLoad(net::Connection& conn, const TpchConfig& config) {
+  Rng rng(7);
+  // Dimensions.
+  std::vector<std::vector<std::string>> rows;
+  for (int r = 0; r < 5; r++) rows.push_back({std::to_string(r), kRegions[r]});
+  CITUSX_RETURN_IF_ERROR(conn.CopyIn("region", {}, std::move(rows)).status());
+  rows.clear();
+  for (int n = 0; n < 25; n++) {
+    rows.push_back({std::to_string(n), kNations[n],
+                    std::to_string(kNationRegion[n])});
+  }
+  CITUSX_RETURN_IF_ERROR(conn.CopyIn("nation", {}, std::move(rows)).status());
+  rows.clear();
+  for (int64_t s = 1; s <= config.NumSuppliers(); s++) {
+    rows.push_back({std::to_string(s), StrFormat("Supplier#%09lld",
+                                                 static_cast<long long>(s)),
+                    std::to_string(rng.Uniform(0, 24))});
+  }
+  CITUSX_RETURN_IF_ERROR(conn.CopyIn("supplier", {}, std::move(rows)).status());
+  rows.clear();
+  for (int64_t c = 1; c <= config.NumCustomers(); c++) {
+    rows.push_back({std::to_string(c),
+                    StrFormat("Customer#%09lld", static_cast<long long>(c)),
+                    std::to_string(rng.Uniform(0, 24)),
+                    StrFormat("%.2f", rng.NextDouble() * 9999.0),
+                    kSegments[rng.Uniform(0, 4)]});
+  }
+  CITUSX_RETURN_IF_ERROR(conn.CopyIn("customer", {}, std::move(rows)).status());
+  rows.clear();
+  for (int64_t p = 1; p <= config.NumParts(); p++) {
+    rows.push_back({std::to_string(p),
+                    "part " + rng.AlphaString(10, 20),
+                    StrFormat("Brand#%lld%lld",
+                              static_cast<long long>(rng.Uniform(1, 5)),
+                              static_cast<long long>(rng.Uniform(1, 5))),
+                    kTypes[rng.Uniform(0, 5)],
+                    std::to_string(rng.Uniform(1, 50)),
+                    kContainers[rng.Uniform(0, 11)],
+                    StrFormat("%.2f", 900.0 + rng.NextDouble() * 200.0)});
+  }
+  CITUSX_RETURN_IF_ERROR(conn.CopyIn("part", {}, std::move(rows)).status());
+
+  // Facts, in COPY batches.
+  constexpr int64_t kBatch = 4000;
+  std::vector<std::vector<std::string>> orders, lines;
+  auto flush = [&]() -> Status {
+    if (!orders.empty()) {
+      CITUSX_RETURN_IF_ERROR(
+          conn.CopyIn("orders", {}, std::move(orders)).status());
+      orders.clear();
+    }
+    if (!lines.empty()) {
+      CITUSX_RETURN_IF_ERROR(
+          conn.CopyIn("lineitem", {}, std::move(lines)).status());
+      lines.clear();
+    }
+    return Status::OK();
+  };
+  for (int64_t o = 1; o <= config.NumOrders(); o++) {
+    std::string orderdate = RandomDate(rng, 1992, 1998);
+    orders.push_back({std::to_string(o),
+                      std::to_string(rng.Uniform(1, config.NumCustomers())),
+                      rng.Chance(0.5) ? "F" : "O",
+                      StrFormat("%.2f", rng.NextDouble() * 400000.0),
+                      orderdate, kPriorities[rng.Uniform(0, 4)],
+                      std::to_string(rng.Uniform(0, 1))});
+    int nlines = static_cast<int>(rng.Uniform(1, 7));
+    for (int l = 1; l <= nlines; l++) {
+      double qty = static_cast<double>(rng.Uniform(1, 50));
+      double price = qty * (900.0 + rng.NextDouble() * 200.0);
+      lines.push_back(
+          {std::to_string(o), std::to_string(rng.Uniform(1, config.NumParts())),
+           std::to_string(rng.Uniform(1, config.NumSuppliers())),
+           std::to_string(l), StrFormat("%.0f", qty),
+           StrFormat("%.2f", price), StrFormat("%.2f", rng.NextDouble() * 0.1),
+           StrFormat("%.2f", rng.NextDouble() * 0.08),
+           rng.Chance(0.25) ? "R" : (rng.Chance(0.5) ? "A" : "N"),
+           rng.Chance(0.5) ? "O" : "F", RandomDate(rng, 1992, 1998),
+           RandomDate(rng, 1992, 1998), RandomDate(rng, 1992, 1998),
+           kShipInstruct[rng.Uniform(0, 3)], kShipModes[rng.Uniform(0, 6)]});
+    }
+    if (orders.size() >= static_cast<size_t>(kBatch)) {
+      CITUSX_RETURN_IF_ERROR(flush());
+    }
+  }
+  return flush();
+}
+
+std::vector<std::pair<std::string, std::string>> TpchQueries() {
+  return {
+      {"Q1",
+       "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+       "sum(l_extendedprice) AS sum_base_price, "
+       "sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+       "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+       "avg(l_quantity) AS avg_qty, avg(l_extendedprice) AS avg_price, "
+       "avg(l_discount) AS avg_disc, count(*) AS count_order "
+       "FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' "
+       "DAY GROUP BY l_returnflag, l_linestatus "
+       "ORDER BY l_returnflag, l_linestatus"},
+      {"Q3",
+       "SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "o_orderdate, o_shippriority FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND "
+       "l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' AND "
+       "l_shipdate > DATE '1995-03-15' "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10"},
+      {"Q5",
+       "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND "
+       "l_suppkey = s_suppkey AND c_nationkey = s_nationkey AND "
+       "s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND "
+       "r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01' AND "
+       "o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR "
+       "GROUP BY n_name ORDER BY revenue DESC"},
+      {"Q6",
+       "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' AND "
+       "l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR AND "
+       "l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"},
+      {"Q7",
+       "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+       "extract(year FROM l_shipdate) AS l_year, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+       "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND "
+       "c_custkey = o_custkey AND s_nationkey = n1.n_nationkey AND "
+       "c_nationkey = n2.n_nationkey AND "
+       "((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') OR "
+       "(n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) AND "
+       "l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+       "GROUP BY n1.n_name, n2.n_name, extract(year FROM l_shipdate) "
+       "ORDER BY 1, 2, 3"},
+      {"Q10",
+       "SELECT c_custkey, c_name, "
+       "sum(l_extendedprice * (1 - l_discount)) AS revenue, c_acctbal, "
+       "n_name FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND "
+       "o_orderdate >= DATE '1993-10-01' AND "
+       "o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH AND "
+       "l_returnflag = 'R' AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, c_acctbal, n_name "
+       "ORDER BY revenue DESC LIMIT 20"},
+      {"Q12",
+       "SELECT l_shipmode, "
+       "sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = "
+       "'2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+       "sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> "
+       "'2-HIGH' THEN 1 ELSE 0 END) AS low_line_count "
+       "FROM orders, lineitem WHERE o_orderkey = l_orderkey AND "
+       "l_shipmode IN ('MAIL', 'SHIP') AND l_commitdate < l_receiptdate AND "
+       "l_shipdate < l_commitdate AND l_receiptdate >= DATE '1994-01-01' AND "
+       "l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR "
+       "GROUP BY l_shipmode ORDER BY l_shipmode"},
+      {"Q14",
+       "SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%' THEN "
+       "l_extendedprice * (1 - l_discount) ELSE 0 END) / "
+       "sum(l_extendedprice * (1 - l_discount)) AS promo_revenue "
+       "FROM lineitem, part WHERE l_partkey = p_partkey AND "
+       "l_shipdate >= DATE '1995-09-01' AND "
+       "l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH"},
+      {"Q19",
+       "SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM lineitem JOIN part ON p_partkey = l_partkey WHERE "
+       "((p_brand = 'Brand#12' AND l_quantity >= 1 AND l_quantity <= 11 AND "
+       "p_size BETWEEN 1 AND 5 AND l_shipmode IN ('AIR', 'REG AIR')) OR "
+       "(p_brand = 'Brand#23' AND l_quantity >= 10 AND l_quantity <= 20 AND "
+       "p_size BETWEEN 1 AND 10 AND l_shipmode IN ('AIR', 'REG AIR')) OR "
+       "(p_brand = 'Brand#34' AND l_quantity >= 20 AND l_quantity <= 30 AND "
+       "p_size BETWEEN 1 AND 15 AND l_shipmode IN ('AIR', 'REG AIR'))) AND "
+       "l_shipinstruct = 'DELIVER IN PERSON'"},
+  };
+}
+
+}  // namespace citusx::workload

@@ -1,0 +1,39 @@
+// TPC-H-derived data warehousing workload (paper §4.4): lineitem and orders
+// distributed and co-located by order key, the smaller tables replicated as
+// reference tables. Includes a dbgen-style generator and the TPC-H query
+// set expressible in the engine's SQL dialect.
+#ifndef CITUSX_WORKLOAD_TPCH_H_
+#define CITUSX_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "net/cluster.h"
+
+namespace citusx::workload {
+
+struct TpchConfig {
+  /// Scale factor as a fraction of TPC-H SF1 (SF1 = 1.5M orders).
+  double scale = 0.02;
+  bool use_citus = true;
+  bool columnar = false;  // store lineitem/orders shards columnar
+
+  int64_t NumOrders() const { return static_cast<int64_t>(150000 * scale); }
+  int64_t NumCustomers() const { return static_cast<int64_t>(15000 * scale); }
+  int64_t NumParts() const { return static_cast<int64_t>(20000 * scale); }
+  int64_t NumSuppliers() const { return static_cast<int64_t>(1000 * scale); }
+};
+
+Status TpchCreateSchema(net::Connection& conn, const TpchConfig& config);
+
+/// Generate and COPY all data.
+Status TpchLoad(net::Connection& conn, const TpchConfig& config);
+
+/// The supported query set: (name, SQL). Queries follow the TPC-H text with
+/// standard parameter values, adapted to the engine dialect (Q19's common
+/// join key is hoisted into the ON clause, a textbook rewrite).
+std::vector<std::pair<std::string, std::string>> TpchQueries();
+
+}  // namespace citusx::workload
+
+#endif  // CITUSX_WORKLOAD_TPCH_H_

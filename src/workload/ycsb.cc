@@ -1,0 +1,83 @@
+#include "workload/ycsb.h"
+
+#include "common/str.h"
+
+namespace citusx::workload {
+
+Status YcsbCreateSchema(net::Connection& conn, const YcsbConfig& config) {
+  std::string ddl = "CREATE TABLE usertable (ycsb_key bigint PRIMARY KEY";
+  for (int f = 0; f < config.fields; f++) {
+    ddl += StrFormat(", field%d text", f);
+  }
+  ddl += ")";
+  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r, conn.Query(ddl));
+  (void)r;
+  if (config.use_citus) {
+    CITUSX_ASSIGN_OR_RETURN(
+        engine::QueryResult d,
+        conn.Query("SELECT create_distributed_table('usertable', 'ycsb_key')"));
+    (void)d;
+  }
+  return Status::OK();
+}
+
+Status YcsbLoad(net::Connection& conn, const YcsbConfig& config, int64_t first,
+                int64_t last) {
+  Rng rng(static_cast<uint64_t>(first) + 5);
+  constexpr int64_t kBatch = 5000;
+  for (int64_t base = first; base < last; base += kBatch) {
+    std::vector<std::vector<std::string>> rows;
+    int64_t hi = std::min(base + kBatch, last);
+    for (int64_t k = base; k < hi; k++) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(k));
+      for (int f = 0; f < config.fields; f++) {
+        row.push_back(rng.AlphaString(config.field_length, config.field_length));
+      }
+      rows.push_back(std::move(row));
+    }
+    CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                            conn.CopyIn("usertable", {}, std::move(rows)));
+    (void)r;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+ClientTxn MakeMix(const YcsbConfig& config, double read_fraction) {
+  auto zipf = config.zipfian
+                  ? std::make_shared<Zipf>(
+                        static_cast<uint64_t>(config.record_count))
+                  : nullptr;
+  return [config, read_fraction, zipf](net::Connection& conn, int client_id,
+                                       Rng& rng) -> Status {
+    int64_t key = zipf != nullptr
+                      ? static_cast<int64_t>(zipf->Next(rng))
+                      : rng.Uniform(0, config.record_count - 1);
+    if (rng.NextDouble() < read_fraction) {
+      auto r = conn.Query(
+          StrFormat("SELECT * FROM usertable WHERE ycsb_key = %lld",
+                    static_cast<long long>(key)));
+      return r.status();
+    }
+    int field = static_cast<int>(rng.Uniform(0, config.fields - 1));
+    auto r = conn.Query(StrFormat(
+        "UPDATE usertable SET field%d = '%s' WHERE ycsb_key = %lld", field,
+        rng.AlphaString(config.field_length, config.field_length).c_str(),
+        static_cast<long long>(key)));
+    return r.status();
+  };
+}
+
+}  // namespace
+
+ClientTxn YcsbWorkloadA(const YcsbConfig& config) {
+  return MakeMix(config, config.read_proportion);
+}
+
+ClientTxn YcsbWorkloadC(const YcsbConfig& config) {
+  return MakeMix(config, 1.0);
+}
+
+}  // namespace citusx::workload

@@ -1,0 +1,34 @@
+// YCSB (paper §4.3): high-performance CRUD on a 10-field usertable.
+// Workload A = 50% reads / 50% updates, uniform key distribution.
+#ifndef CITUSX_WORKLOAD_YCSB_H_
+#define CITUSX_WORKLOAD_YCSB_H_
+
+#include "net/cluster.h"
+#include "workload/driver.h"
+
+namespace citusx::workload {
+
+struct YcsbConfig {
+  int64_t record_count = 100000;
+  int field_length = 100;
+  int fields = 10;
+  double read_proportion = 0.5;  // workload A
+  bool zipfian = false;          // paper used uniform
+  bool use_citus = true;
+};
+
+Status YcsbCreateSchema(net::Connection& conn, const YcsbConfig& config);
+
+/// Load keys [first, last) via COPY in batches.
+Status YcsbLoad(net::Connection& conn, const YcsbConfig& config, int64_t first,
+                int64_t last);
+
+/// Workload A transaction (one read or one update).
+ClientTxn YcsbWorkloadA(const YcsbConfig& config);
+
+/// Read-only / update-only variants (workloads C and a write-heavy mix).
+ClientTxn YcsbWorkloadC(const YcsbConfig& config);
+
+}  // namespace citusx::workload
+
+#endif  // CITUSX_WORKLOAD_YCSB_H_

@@ -1,0 +1,99 @@
+// Tests for EXPLAIN: local plan descriptions and distributed planner tiers.
+#include <gtest/gtest.h>
+
+#include "citus/deploy.h"
+#include "common/str.h"
+
+namespace citusx {
+namespace {
+
+std::string ExplainText(const engine::QueryResult& r) {
+  std::string out;
+  for (const auto& row : r.rows) {
+    out += row[0].text_value();
+    out += "\n";
+  }
+  return out;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void RunSim(std::function<void()> fn) {
+    sim_.Spawn("test", std::move(fn));
+    sim_.Run();
+  }
+  void TearDown() override { sim_.Shutdown(); }
+  sim::Simulation sim_;
+};
+
+TEST_F(ExplainTest, LocalPlans) {
+  engine::Node node(&sim_, "pg", sim::DefaultCostModel());
+  RunSim([&] {
+    auto s = node.OpenSession();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (k bigint PRIMARY KEY, v bigint, "
+                           "tag text)")
+                    .ok());
+    ASSERT_TRUE(s->Execute("CREATE TABLE u (k bigint, w bigint)").ok());
+    // Index scan is chosen for pk equality.
+    auto idx = s->Execute("EXPLAIN SELECT v FROM t WHERE k = 5");
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    EXPECT_NE(ExplainText(*idx).find("Index Scan on t"), std::string::npos)
+        << ExplainText(*idx);
+    // Seq scan otherwise, with the filter shown.
+    auto seq = s->Execute("EXPLAIN SELECT v FROM t WHERE v > 5");
+    ASSERT_TRUE(seq.ok());
+    EXPECT_NE(ExplainText(*seq).find("Seq Scan on t"), std::string::npos);
+    EXPECT_NE(ExplainText(*seq).find("Filter"), std::string::npos);
+    // Hash join + aggregate + sort + limit structure.
+    auto join = s->Execute(
+        "EXPLAIN SELECT t.tag, count(*) FROM t JOIN u ON t.k = u.k "
+        "GROUP BY t.tag ORDER BY 2 DESC LIMIT 3");
+    ASSERT_TRUE(join.ok());
+    std::string text = ExplainText(*join);
+    EXPECT_NE(text.find("Hash Inner Join"), std::string::npos) << text;
+    EXPECT_NE(text.find("GroupAggregate"), std::string::npos) << text;
+    EXPECT_NE(text.find("Sort"), std::string::npos) << text;
+    EXPECT_NE(text.find("Limit 3"), std::string::npos) << text;
+    // DML explain.
+    auto upd = s->Execute("EXPLAIN UPDATE t SET v = 1 WHERE k = 2");
+    ASSERT_TRUE(upd.ok());
+    EXPECT_NE(ExplainText(*upd).find("Update on t"), std::string::npos);
+  });
+}
+
+TEST_F(ExplainTest, DistributedTiers) {
+  citus::DeploymentOptions options;
+  options.num_workers = 2;
+  citus::Deployment deploy(&sim_, options);
+  RunSim([&] {
+    auto conn = deploy.Connect();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(
+        (*conn)->Query("CREATE TABLE kv (key bigint PRIMARY KEY, v text)").ok());
+    ASSERT_TRUE(
+        (*conn)->Query("SELECT create_distributed_table('kv', 'key')").ok());
+    // Fast path router.
+    auto fast = (*conn)->Query("EXPLAIN SELECT v FROM kv WHERE key = 1");
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    std::string text = ExplainText(*fast);
+    EXPECT_NE(text.find("Fast Path Router"), std::string::npos) << text;
+    EXPECT_NE(text.find("kv_102"), std::string::npos) << text;  // shard name
+    // Adaptive (pushdown) with task count = shard count.
+    auto push = (*conn)->Query("EXPLAIN SELECT count(*) FROM kv");
+    ASSERT_TRUE(push.ok());
+    text = ExplainText(*push);
+    EXPECT_NE(text.find("Citus Adaptive"), std::string::npos) << text;
+    EXPECT_NE(text.find("Task Count: 32"), std::string::npos) << text;
+    // Multi-shard DML.
+    auto dml = (*conn)->Query("EXPLAIN UPDATE kv SET v = 'x'");
+    ASSERT_TRUE(dml.ok());
+    EXPECT_NE(ExplainText(*dml).find("Modify on kv"), std::string::npos);
+    // EXPLAIN must not have executed the update.
+    auto count = (*conn)->Query("SELECT count(*) FROM kv WHERE v = 'x'");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count->rows[0][0].int_value(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace citusx

@@ -1,0 +1,142 @@
+// Tests for the simulated network layer: connections, latency accounting,
+// connection limits, and node-failure behaviour.
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+
+namespace citusx::net {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : cluster_(&sim_, sim::DefaultCostModel(), 2) {}
+
+  void RunSim(std::function<void()> fn) {
+    sim_.Spawn("test", std::move(fn));
+    sim_.Run();
+  }
+
+  void TearDown() override { sim_.Shutdown(); }
+
+  sim::Simulation sim_;
+  Cluster cluster_;
+};
+
+TEST_F(NetTest, QueryOverConnection) {
+  RunSim([&] {
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    auto r = (*conn)->Query("SELECT 1 + 2");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].int_value(), 3);
+  });
+}
+
+TEST_F(NetTest, ConnectionHasEstablishmentAndRttCost) {
+  RunSim([&] {
+    sim::Time t0 = sim_.now();
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    sim::Time connect_time = sim_.now() - t0;
+    EXPECT_GE(connect_time, cluster_.coordinator()->cost().connect_cost);
+    t0 = sim_.now();
+    ASSERT_TRUE((*conn)->Query("SELECT 1").ok());
+    sim::Time query_time = sim_.now() - t0;
+    EXPECT_GE(query_time, cluster_.coordinator()->cost().net_rtt);
+  });
+}
+
+TEST_F(NetTest, SessionStatePersistsAcrossQueries) {
+  RunSim([&] {
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    // A transaction spans multiple round trips on one backend session.
+    ASSERT_TRUE((*conn)->Query("CREATE TABLE t (a bigint)").ok());
+    ASSERT_TRUE((*conn)->Query("BEGIN").ok());
+    ASSERT_TRUE((*conn)->Query("INSERT INTO t VALUES (1)").ok());
+    auto mid = (*conn)->Query("SELECT count(*) FROM t");
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(mid->rows[0][0].int_value(), 1);
+    ASSERT_TRUE((*conn)->Query("ROLLBACK").ok());
+    auto after = (*conn)->Query("SELECT count(*) FROM t");
+    EXPECT_EQ(after->rows[0][0].int_value(), 0);
+  });
+}
+
+TEST_F(NetTest, MaxConnectionsEnforced) {
+  RunSim([&] {
+    std::vector<std::unique_ptr<Connection>> conns;
+    int limit = cluster_.coordinator()->cost().max_connections;
+    for (int i = 0; i < limit; i++) {
+      auto c = cluster_.directory().Connect(nullptr, "worker2");
+      ASSERT_TRUE(c.ok()) << i;
+      conns.push_back(std::move(*c));
+    }
+    auto overflow = cluster_.directory().Connect(nullptr, "worker2");
+    ASSERT_FALSE(overflow.ok());
+    EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+    // Closing one frees a slot.
+    conns.back()->Close();
+    auto retry = cluster_.directory().Connect(nullptr, "worker2");
+    EXPECT_TRUE(retry.ok());
+  });
+}
+
+TEST_F(NetTest, DownNodeRefusesAndRecovers) {
+  RunSim([&] {
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    engine::Node* w1 = cluster_.directory().Find("worker1");
+    w1->Crash();
+    auto r = (*conn)->Query("SELECT 1");
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnavailable());
+    auto fresh = cluster_.directory().Connect(nullptr, "worker1");
+    EXPECT_FALSE(fresh.ok());
+    w1->Restart();
+    auto again = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE((*again)->Query("SELECT 1").ok());
+  });
+}
+
+TEST_F(NetTest, CrashAbortsInFlightTransactions) {
+  RunSim([&] {
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE((*conn)->Query("CREATE TABLE t (a bigint)").ok());
+    ASSERT_TRUE((*conn)->Query("BEGIN").ok());
+    ASSERT_TRUE((*conn)->Query("INSERT INTO t VALUES (1)").ok());
+    engine::Node* w1 = cluster_.directory().Find("worker1");
+    w1->Crash();
+    w1->Restart();
+    auto fresh = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(fresh.ok());
+    auto count = (*fresh)->Query("SELECT count(*) FROM t");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count->rows[0][0].int_value(), 0);  // rolled back by the crash
+  });
+}
+
+TEST_F(NetTest, LargeResultPaysBandwidth) {
+  RunSim([&] {
+    auto conn = cluster_.directory().Connect(nullptr, "worker1");
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE((*conn)->Query("CREATE TABLE big (pad text)").ok());
+    std::vector<std::vector<std::string>> rows;
+    for (int i = 0; i < 6000; i++) rows.push_back({std::string(1000, 'x')});
+    ASSERT_TRUE((*conn)->CopyIn("big", {}, std::move(rows)).ok());
+    sim::Time t0 = sim_.now();
+    ASSERT_TRUE((*conn)->Query("SELECT pad FROM big").ok());
+    sim::Time big_time = sim_.now() - t0;
+    t0 = sim_.now();
+    ASSERT_TRUE((*conn)->Query("SELECT count(*) FROM big").ok());
+    sim::Time small_time = sim_.now() - t0;
+    // ~6MB result vs 1 row: result bandwidth (~6ms at 1GB/s) must show up.
+    EXPECT_GT(big_time, small_time + 3 * sim::kMillisecond);
+  });
+}
+
+}  // namespace
+}  // namespace citusx::net

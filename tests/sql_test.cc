@@ -1,0 +1,529 @@
+// Unit tests for the SQL layer: datum, json, lexer, parser, deparser, eval.
+#include <gtest/gtest.h>
+
+#include "sql/datum.h"
+#include "sql/deparser.h"
+#include "sql/eval.h"
+#include "sql/json.h"
+#include "sql/parser.h"
+
+namespace citusx::sql {
+namespace {
+
+// ---- Datum ----
+
+TEST(Datum, NullHandling) {
+  Datum n = Datum::Null();
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(Datum::Equal(n, n));
+  EXPECT_EQ(Datum::Compare(n, Datum::Int8(1)), 1);  // NULLs sort last
+  EXPECT_EQ(Datum::Compare(Datum::Int8(1), n), -1);
+}
+
+TEST(Datum, NumericCrossTypeCompare) {
+  EXPECT_EQ(Datum::Compare(Datum::Int4(5), Datum::Int8(5)), 0);
+  EXPECT_EQ(Datum::Compare(Datum::Int8(5), Datum::Float8(5.5)), -1);
+  EXPECT_EQ(Datum::Compare(Datum::Float8(6.0), Datum::Int4(5)), 1);
+}
+
+TEST(Datum, TextCompare) {
+  EXPECT_LT(Datum::Compare(Datum::Text("abc"), Datum::Text("abd")), 0);
+  EXPECT_TRUE(Datum::Equal(Datum::Text("x"), Datum::Text("x")));
+}
+
+TEST(Datum, SqlLiteralRoundTrip) {
+  // Every ToSqlLiteral output must re-parse to an equal value.
+  std::vector<Datum> values = {
+      Datum::Null(),
+      Datum::Bool(true),
+      Datum::Int8(-42),
+      Datum::Float8(3.25),
+      Datum::Text("it's"),
+      Datum::Date(CivilToDays(2020, 2, 1)),
+      Datum::Timestamp(ParseTimestamp("2021-06-20 12:34:56").value()),
+  };
+  for (const auto& v : values) {
+    auto expr = ParseExpression(v.ToSqlLiteral());
+    ASSERT_TRUE(expr.ok()) << v.ToSqlLiteral() << ": "
+                           << expr.status().ToString();
+    EvalContext ctx;
+    auto result = Eval(**expr, ctx);
+    ASSERT_TRUE(result.ok());
+    if (v.is_null()) {
+      EXPECT_TRUE(result->is_null());
+    } else {
+      EXPECT_EQ(Datum::Compare(v, *result), 0) << v.ToSqlLiteral();
+    }
+  }
+}
+
+TEST(Datum, DateMath) {
+  int64_t d = CivilToDays(2000, 1, 1);
+  EXPECT_EQ(d, 0);
+  EXPECT_EQ(FormatDate(CivilToDays(2021, 6, 20)), "2021-06-20");
+  int y, m, day;
+  DaysToCivil(CivilToDays(2024, 2, 29), &y, &m, &day);
+  EXPECT_EQ(y, 2024);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(day, 29);
+  EXPECT_EQ(ParseDate("1998-12-01").value(),
+            CivilToDays(1998, 12, 1));
+}
+
+TEST(Datum, CastMatrix) {
+  EXPECT_EQ(Datum::Int8(42).CastTo(TypeId::kText)->text_value(), "42");
+  EXPECT_EQ(Datum::Text("17").CastTo(TypeId::kInt8)->int_value(), 17);
+  EXPECT_EQ(Datum::Text("1.5").CastTo(TypeId::kFloat8)->float_value(), 1.5);
+  EXPECT_EQ(Datum::Text("2020-02-01")
+                .CastTo(TypeId::kDate)
+                ->int_value(),
+            CivilToDays(2020, 2, 1));
+  // timestamp -> date truncates
+  Datum ts = Datum::Timestamp(ParseTimestamp("2020-02-01 23:59:59").value());
+  EXPECT_EQ(ts.CastTo(TypeId::kDate)->int_value(), CivilToDays(2020, 2, 1));
+  EXPECT_FALSE(Datum::Jsonb(nullptr).CastTo(TypeId::kInt8).ok());
+}
+
+TEST(Datum, PartitionHashStability) {
+  EXPECT_EQ(Datum::Int8(123).PartitionHash(), Datum::Int8(123).PartitionHash());
+  EXPECT_EQ(Datum::Text("abc").PartitionHash(),
+            Datum::Text("abc").PartitionHash());
+  EXPECT_NE(Datum::Int8(1).PartitionHash(), Datum::Int8(2).PartitionHash());
+}
+
+// ---- Json ----
+
+TEST(Json, ParseAndSerialize) {
+  auto j = Json::Parse(R"({"a": 1, "b": [true, null, "x\"y"], "c": {"d": 2.5}})");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->GetField("a")->number_value(), 1);
+  EXPECT_EQ((*j)->GetField("b")->array_size(), 3);
+  EXPECT_EQ((*j)->GetField("b")->GetElement(2)->string_value(), "x\"y");
+  // Round trip.
+  auto j2 = Json::Parse((*j)->ToString());
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ((*j)->ToString(), (*j2)->ToString());
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+}
+
+TEST(Json, PathQuery) {
+  auto j = Json::Parse(
+      R"({"payload": {"commits": [{"message": "m1"}, {"message": "m2"}]}})");
+  ASSERT_TRUE(j.ok());
+  auto matches = Json::PathQuery(*j, "$.payload.commits[*].message");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->string_value(), "m1");
+  EXPECT_EQ(matches[1]->string_value(), "m2");
+  EXPECT_TRUE(Json::PathQuery(*j, "$.missing.path").empty());
+  auto idx = Json::PathQuery(*j, "$.payload.commits[1].message");
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx[0]->string_value(), "m2");
+}
+
+// ---- Parser ----
+
+Statement MustParse(const std::string& sql) {
+  auto r = Parse(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Statement{};
+}
+
+TEST(Parser, SimpleSelect) {
+  Statement s = MustParse("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  EXPECT_EQ(s.select->targets.size(), 2u);
+  ASSERT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0]->name, "t");
+  ASSERT_NE(s.select->where, nullptr);
+}
+
+TEST(Parser, SelectWithEverything) {
+  Statement s = MustParse(
+      "SELECT DISTINCT t.a AS x, count(*), sum(b + 1) total "
+      "FROM t JOIN u ON t.id = u.id LEFT JOIN v ON v.k = t.k "
+      "WHERE t.a > 5 AND u.name LIKE 'ab%' "
+      "GROUP BY t.a HAVING count(*) > 2 "
+      "ORDER BY 2 DESC, x ASC LIMIT 10 OFFSET 5");
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  EXPECT_TRUE(s.select->distinct);
+  EXPECT_EQ(s.select->targets.size(), 3u);
+  EXPECT_EQ(s.select->targets[2].alias, "total");
+  EXPECT_EQ(s.select->group_by.size(), 1u);
+  ASSERT_NE(s.select->having, nullptr);
+  EXPECT_EQ(s.select->order_by.size(), 2u);
+  EXPECT_TRUE(s.select->order_by[0].desc);
+}
+
+TEST(Parser, SubqueryInFrom) {
+  Statement s = MustParse(
+      "SELECT avg(device_avg) FROM ("
+      "SELECT deviceid, avg(metric) AS device_avg FROM reports "
+      "GROUP BY deviceid) AS subq");
+  ASSERT_EQ(s.select->from.size(), 1u);
+  EXPECT_EQ(s.select->from[0]->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(s.select->from[0]->alias, "subq");
+}
+
+TEST(Parser, InsertForms) {
+  Statement v = MustParse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y') ON CONFLICT DO NOTHING");
+  ASSERT_EQ(v.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(v.insert->values.size(), 2u);
+  EXPECT_TRUE(v.insert->on_conflict_do_nothing);
+
+  Statement is = MustParse("INSERT INTO rollup SELECT a, count(*) FROM t GROUP BY a");
+  ASSERT_EQ(is.kind, Statement::Kind::kInsert);
+  ASSERT_NE(is.insert->select, nullptr);
+}
+
+TEST(Parser, UpdateDelete) {
+  Statement u = MustParse("UPDATE t SET v = v + 1, w = 2 WHERE key = $1");
+  ASSERT_EQ(u.kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(u.update->sets.size(), 2u);
+  Statement d = MustParse("DELETE FROM t WHERE a IN (1, 2, 3)");
+  ASSERT_EQ(d.kind, Statement::Kind::kDelete);
+}
+
+TEST(Parser, CreateTable) {
+  Statement s = MustParse(
+      "CREATE TABLE IF NOT EXISTS orders ("
+      "o_id bigint PRIMARY KEY, o_w_id int NOT NULL, "
+      "o_entry_d timestamp, data jsonb, total double precision, "
+      "name varchar(24) DEFAULT 'x')");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateTable);
+  const auto& ct = *s.create_table;
+  EXPECT_TRUE(ct.if_not_exists);
+  EXPECT_EQ(ct.schema.columns.size(), 6u);
+  EXPECT_EQ(ct.schema.columns[0].type, TypeId::kInt8);
+  EXPECT_TRUE(ct.schema.columns[0].primary_key);
+  EXPECT_EQ(ct.schema.columns[2].type, TypeId::kTimestamp);
+  EXPECT_EQ(ct.schema.columns[3].type, TypeId::kJsonb);
+  EXPECT_EQ(ct.schema.columns[4].type, TypeId::kFloat8);
+  EXPECT_EQ(ct.primary_key, std::vector<std::string>{"o_id"});
+}
+
+TEST(Parser, CompositePrimaryKey) {
+  Statement s = MustParse(
+      "CREATE TABLE t (a int, b int, c text, PRIMARY KEY (a, b))");
+  EXPECT_EQ(s.create_table->primary_key,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Parser, CreateIndex) {
+  Statement s = MustParse("CREATE UNIQUE INDEX idx ON t (a, b)");
+  EXPECT_TRUE(s.create_index->unique);
+  EXPECT_EQ(s.create_index->columns.size(), 2u);
+
+  Statement g = MustParse(
+      "CREATE INDEX text_idx ON github_events USING gin "
+      "((jsonb_path_query_array(data, '$.payload.commits[*].message')::text) "
+      "gin_trgm_ops)");
+  EXPECT_EQ(g.create_index->method, IndexMethod::kGinTrgm);
+  ASSERT_NE(g.create_index->expression, nullptr);
+}
+
+TEST(Parser, TxnStatements) {
+  EXPECT_EQ(MustParse("BEGIN").txn->op, TxnOp::kBegin);
+  EXPECT_EQ(MustParse("COMMIT").txn->op, TxnOp::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK").txn->op, TxnOp::kRollback);
+  Statement p = MustParse("PREPARE TRANSACTION 'citus_0_12'");
+  EXPECT_EQ(p.txn->op, TxnOp::kPrepare);
+  EXPECT_EQ(p.txn->gid, "citus_0_12");
+  EXPECT_EQ(MustParse("COMMIT PREPARED 'g1'").txn->op, TxnOp::kCommitPrepared);
+  EXPECT_EQ(MustParse("ROLLBACK PREPARED 'g1'").txn->op,
+            TxnOp::kRollbackPrepared);
+}
+
+TEST(Parser, SetAndCall) {
+  Statement s = MustParse("SET citus.distributed_txid = '42'");
+  EXPECT_EQ(s.set->name, "citus.distributed_txid");
+  EXPECT_EQ(s.set->value, "42");
+  Statement c = MustParse("CALL new_order(1, 2, 3)");
+  EXPECT_EQ(c.call->procedure, "new_order");
+  EXPECT_EQ(c.call->args.size(), 3u);
+}
+
+TEST(Parser, CopyStatement) {
+  Statement s = MustParse("COPY t (a, b) FROM STDIN");
+  EXPECT_EQ(s.copy->table, "t");
+  EXPECT_EQ(s.copy->columns.size(), 2u);
+}
+
+TEST(Parser, DateLiteralsAndIntervals) {
+  Statement s = MustParse(
+      "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - "
+      "INTERVAL '90' DAY");
+  ASSERT_NE(s.select->where, nullptr);
+  Statement m = MustParse(
+      "SELECT * FROM orders WHERE o_orderdate < DATE '1995-01-01' + "
+      "INTERVAL '3' MONTH");
+  ASSERT_NE(m.select->where, nullptr);
+}
+
+TEST(Parser, JsonOperators) {
+  Statement s = MustParse(
+      "SELECT (data->>'created_at')::date, "
+      "sum(jsonb_array_length(data->'payload'->'commits')) "
+      "FROM github_events WHERE jsonb_path_query_array(data, "
+      "'$.payload.commits[*].message')::text ILIKE '%postgres%' "
+      "GROUP BY 1 ORDER BY 1 ASC");
+  EXPECT_EQ(s.select->targets.size(), 2u);
+}
+
+TEST(Parser, NamedUdfArguments) {
+  Statement s = MustParse(
+      "SELECT create_distributed_table('other', 'k', colocate_with := 'my')");
+  ASSERT_EQ(s.select->targets.size(), 1u);
+  const Expr& f = *s.select->targets[0].expr;
+  EXPECT_EQ(f.kind, ExprKind::kFunc);
+  EXPECT_EQ(f.args.size(), 4u);  // 2 positional + marker + value
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(Parse("SELEC 1").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t").ok());
+  EXPECT_FALSE(Parse("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE EXISTS (SELECT 1)").ok());
+  EXPECT_FALSE(Parse("SELECT (SELECT 1)").ok());
+}
+
+TEST(Parser, CaseExpression) {
+  Statement s = MustParse(
+      "SELECT sum(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) "
+      "FROM orders");
+  const Expr& agg = *s.select->targets[0].expr;
+  EXPECT_EQ(agg.kind, ExprKind::kAgg);
+  EXPECT_EQ(agg.args[0]->kind, ExprKind::kCase);
+}
+
+TEST(Parser, BetweenRewrite) {
+  Statement s = MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 10");
+  // BETWEEN becomes (a >= 1 AND a <= 10).
+  EXPECT_EQ(s.select->where->kind, ExprKind::kBinary);
+  EXPECT_EQ(s.select->where->bin_op, BinOp::kAnd);
+}
+
+// ---- Deparser round-trip ----
+
+class DeparseRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeparseRoundTrip, ParseDeparseParse) {
+  const std::string& sql = GetParam();
+  auto s1 = Parse(sql);
+  ASSERT_TRUE(s1.ok()) << sql << ": " << s1.status().ToString();
+  std::string text1 = DeparseStatement(*s1);
+  auto s2 = Parse(text1);
+  ASSERT_TRUE(s2.ok()) << text1 << ": " << s2.status().ToString();
+  std::string text2 = DeparseStatement(*s2);
+  EXPECT_EQ(text1, text2) << "deparse not a fixed point for: " << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, DeparseRoundTrip,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT a, b FROM t WHERE a = 1 AND b <> 'x'",
+        "SELECT count(*) FROM t GROUP BY a HAVING count(*) > 1",
+        "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON c.x = a.x",
+        "SELECT sum(x) FROM (SELECT y AS x FROM u) AS sub",
+        "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+        "SELECT a FROM t WHERE b IN (1, 2, 3) OR c IS NOT NULL",
+        "SELECT a::text, CAST(b AS bigint) FROM t",
+        "SELECT data->'payload'->>'size' FROM events",
+        "SELECT * FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2",
+        "SELECT * FROM t WHERE name ILIKE '%post%' FOR UPDATE",
+        "INSERT INTO t (a, b) VALUES (1, 'x')",
+        "INSERT INTO r SELECT a, count(*) FROM t GROUP BY a",
+        "UPDATE t SET v = v + 1 WHERE k = 5",
+        "DELETE FROM t WHERE k = 5",
+        "CREATE TABLE t (a bigint, b text, PRIMARY KEY (a))",
+        "CREATE INDEX i ON t (a, b)",
+        "DROP TABLE IF EXISTS t",
+        "TRUNCATE a, b",
+        "COPY t (a, b) FROM STDIN",
+        "BEGIN", "COMMIT", "ROLLBACK",
+        "PREPARE TRANSACTION 'gid_1'",
+        "COMMIT PREPARED 'gid_1'",
+        "SET citus.txid = '9'",
+        "CALL payment(1, 2)"));
+
+TEST(Deparser, TableMapRewritesShardNames) {
+  auto s = Parse("SELECT o.a FROM orders o JOIN items ON items.id = o.id");
+  ASSERT_TRUE(s.ok());
+  std::map<std::string, std::string> map = {{"orders", "orders_102008"},
+                                            {"items", "items_102012"}};
+  DeparseOptions opts;
+  opts.table_map = &map;
+  std::string text = DeparseStatement(*s, opts);
+  EXPECT_NE(text.find("orders_102008"), std::string::npos);
+  EXPECT_NE(text.find("items_102012 AS items"), std::string::npos);
+}
+
+TEST(Deparser, ParamSubstitution) {
+  auto s = Parse("SELECT * FROM t WHERE k = $1 AND v > $2");
+  ASSERT_TRUE(s.ok());
+  std::vector<Datum> params = {Datum::Text("o'brien"), Datum::Int8(7)};
+  DeparseOptions opts;
+  opts.params = &params;
+  std::string text = DeparseStatement(*s, opts);
+  EXPECT_NE(text.find("'o''brien'"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+// ---- Eval ----
+
+Datum EvalText(const std::string& expr_text,
+               const std::vector<Datum>* params = nullptr) {
+  auto e = ParseExpression(expr_text);
+  EXPECT_TRUE(e.ok()) << expr_text << ": " << e.status().ToString();
+  EvalContext ctx;
+  ctx.params = params;
+  auto v = Eval(**e, ctx);
+  EXPECT_TRUE(v.ok()) << expr_text << ": " << v.status().ToString();
+  return v.ok() ? *v : Datum::Null();
+}
+
+TEST(Eval, Arithmetic) {
+  EXPECT_EQ(EvalText("1 + 2 * 3").int_value(), 7);
+  EXPECT_EQ(EvalText("(1 + 2) * 3").int_value(), 9);
+  EXPECT_EQ(EvalText("7 / 2").int_value(), 3);  // int division
+  EXPECT_EQ(EvalText("7.0 / 2").float_value(), 3.5);
+  EXPECT_EQ(EvalText("7 % 3").int_value(), 1);
+  EXPECT_EQ(EvalText("-5 + 3").int_value(), -2);
+}
+
+TEST(Eval, ThreeValuedLogic) {
+  EXPECT_TRUE(EvalText("NULL AND FALSE").type() == TypeId::kBool);
+  EXPECT_FALSE(EvalText("NULL AND FALSE").bool_value());  // false
+  EXPECT_TRUE(EvalText("NULL OR TRUE").bool_value());
+  EXPECT_TRUE(EvalText("NULL OR FALSE").is_null());
+  EXPECT_TRUE(EvalText("NULL AND TRUE").is_null());
+  EXPECT_TRUE(EvalText("NOT NULL").is_null());
+  EXPECT_TRUE(EvalText("1 = NULL").is_null());
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_TRUE(EvalText("1 < 2").bool_value());
+  EXPECT_TRUE(EvalText("'abc' < 'abd'").bool_value());
+  EXPECT_TRUE(EvalText("2 BETWEEN 1 AND 3").bool_value());
+  EXPECT_TRUE(EvalText("2 IN (1, 2, 3)").bool_value());
+  EXPECT_FALSE(EvalText("5 IN (1, 2, 3)").bool_value());
+  EXPECT_TRUE(EvalText("5 NOT IN (1, 2, 3)").bool_value());
+  EXPECT_TRUE(EvalText("5 IN (1, NULL)").is_null());
+  EXPECT_TRUE(EvalText("NULL IS NULL").bool_value());
+  EXPECT_FALSE(EvalText("1 IS NULL").bool_value());
+}
+
+TEST(Eval, LikePatterns) {
+  EXPECT_TRUE(LikeMatch("postgres", "post%", false));
+  EXPECT_TRUE(LikeMatch("postgres", "%gres", false));
+  EXPECT_TRUE(LikeMatch("postgres", "%stg%", false));
+  EXPECT_TRUE(LikeMatch("postgres", "p_stgres", false));
+  EXPECT_FALSE(LikeMatch("postgres", "P%", false));
+  EXPECT_TRUE(LikeMatch("PostgreSQL rocks", "%postgres%", true));  // ILIKE
+  EXPECT_TRUE(LikeMatch("", "%", false));
+  EXPECT_FALSE(LikeMatch("", "_", false));
+  EXPECT_TRUE(LikeMatch("abc", "abc", false));
+  EXPECT_TRUE(LikeMatch("a%c", "a%c", false));
+  EXPECT_TRUE(EvalText("'PostGres is fun' ILIKE '%postgres%'").bool_value());
+}
+
+TEST(Eval, StringFunctions) {
+  EXPECT_EQ(EvalText("lower('ABC')").text_value(), "abc");
+  EXPECT_EQ(EvalText("upper('abc')").text_value(), "ABC");
+  EXPECT_EQ(EvalText("length('hello')").int_value(), 5);
+  EXPECT_EQ(EvalText("'a' || 'b' || 'c'").text_value(), "abc");
+  EXPECT_EQ(EvalText("substring('hello', 2, 3)").text_value(), "ell");
+  EXPECT_EQ(EvalText("coalesce(NULL, NULL, 3)").int_value(), 3);
+  EXPECT_EQ(EvalText("greatest(1, 5, 3)").int_value(), 5);
+  EXPECT_EQ(EvalText("least(2, 5, 3)").int_value(), 2);
+  EXPECT_EQ(EvalText("md5('x')").text_value().size(), 32u);
+}
+
+TEST(Eval, DateFunctions) {
+  EXPECT_EQ(EvalText("DATE '2020-03-15' - INTERVAL '14' DAY").int_value(),
+            CivilToDays(2020, 3, 1));
+  EXPECT_EQ(EvalText("DATE '1995-01-01' + INTERVAL '3' MONTH").int_value(),
+            CivilToDays(1995, 4, 1));
+  EXPECT_EQ(EvalText("DATE '1994-01-01' + INTERVAL '1' YEAR").int_value(),
+            CivilToDays(1995, 1, 1));
+  EXPECT_EQ(EvalText("extract(year FROM DATE '2021-06-20')").int_value(), 2021);
+  EXPECT_EQ(EvalText("extract(month FROM DATE '2021-06-20')").int_value(), 6);
+  EXPECT_EQ(EvalText("DATE '2020-01-31' - DATE '2020-01-01'").int_value(), 30);
+  EXPECT_EQ(EvalText("date_trunc('month', DATE '2021-06-20')").int_value(),
+            CivilToDays(2021, 6, 1));
+}
+
+TEST(Eval, JsonExpressions) {
+  auto j = Json::Parse(
+      R"({"created_at": "2020-02-01T10:00:00Z",
+          "payload": {"commits": [{"message": "fix postgres bug"},
+                                   {"message": "other"}]}})");
+  ASSERT_TRUE(j.ok());
+  Row row = {Datum::Jsonb(*j)};
+  auto e = ParseExpression(
+      "jsonb_array_length(data->'payload'->'commits')");
+  ASSERT_TRUE(e.ok());
+  // Bind "data" to slot 0 by hand.
+  WalkExprMut(*e, [](Expr& x) {
+    if (x.kind == ExprKind::kColumnRef) x.slot = 0;
+  });
+  EvalContext ctx;
+  ctx.row = &row;
+  EXPECT_EQ(Eval(**e, ctx)->int_value(), 2);
+
+  auto e2 = ParseExpression("(data->>'created_at')::date");
+  ASSERT_TRUE(e2.ok());
+  WalkExprMut(*e2, [](Expr& x) {
+    if (x.kind == ExprKind::kColumnRef) x.slot = 0;
+  });
+  EXPECT_EQ(Eval(**e2, ctx)->int_value(), CivilToDays(2020, 2, 1));
+
+  auto e3 = ParseExpression(
+      "jsonb_path_query_array(data, '$.payload.commits[*].message')::text "
+      "ILIKE '%postgres%'");
+  ASSERT_TRUE(e3.ok());
+  WalkExprMut(*e3, [](Expr& x) {
+    if (x.kind == ExprKind::kColumnRef) x.slot = 0;
+  });
+  EXPECT_TRUE(Eval(**e3, ctx)->bool_value());
+}
+
+TEST(Eval, Params) {
+  std::vector<Datum> params = {Datum::Int8(10), Datum::Text("x")};
+  EXPECT_EQ(EvalText("$1 * 2", &params).int_value(), 20);
+  EXPECT_EQ(EvalText("$2 || '!'", &params).text_value(), "x!");
+  auto e = ParseExpression("$3");
+  ASSERT_TRUE(e.ok());
+  EvalContext ctx;
+  ctx.params = &params;
+  EXPECT_FALSE(Eval(**e, ctx).ok());  // missing param
+}
+
+TEST(Eval, CaseEvaluation) {
+  EXPECT_EQ(EvalText("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' END")
+                .text_value(),
+            "b");
+  EXPECT_TRUE(EvalText("CASE WHEN FALSE THEN 1 END").is_null());
+  EXPECT_EQ(EvalText("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END")
+                .text_value(),
+            "two");
+}
+
+TEST(Eval, DivisionByZero) {
+  auto e = ParseExpression("1 / 0");
+  ASSERT_TRUE(e.ok());
+  EvalContext ctx;
+  EXPECT_FALSE(Eval(**e, ctx).ok());
+}
+
+}  // namespace
+}  // namespace citusx::sql
