@@ -10,12 +10,16 @@
 #define CITUSX_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "citus/deploy.h"
+#include "obs/metrics.h"
+#include "sql/json.h"
 #include "workload/driver.h"
 
 namespace citusx::bench {
@@ -70,6 +74,113 @@ inline void PrintHeader(const char* title, const char* figure) {
 }
 
 inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Common command line of every bench binary:
+///   --json=<path>  dump the figure's results (+ metric snapshots) as JSON
+///   --quick        scaled-down run for smoke tests / CI
+struct BenchArgs {
+  std::string json_path;
+  bool quick = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; i++) {
+    std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      args.json_path = a.substr(7);
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (expected --json=<path> or "
+                   "--quick)\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// The consistent latency summary every bench reports.
+struct LatencyTriple {
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+inline LatencyTriple Percentiles(const sim::Histogram& h) {
+  LatencyTriple t;
+  t.p50_ms = Ms(h.Percentile(50));
+  t.p95_ms = Ms(h.Percentile(95));
+  t.p99_ms = Ms(h.Percentile(99));
+  return t;
+}
+
+inline void PrintLatencyTriple(const char* label, const sim::Histogram& h) {
+  LatencyTriple t = Percentiles(h);
+  std::printf("  %-18s p50=%.2f ms  p95=%.2f ms  p99=%.2f ms\n", label,
+              t.p50_ms, t.p95_ms, t.p99_ms);
+}
+
+/// Accumulates one bench run's results and writes them as a JSON document:
+/// {"bench": ..., "results": [...], "metrics": {"<scope>": [...]}}.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// One result row (a cell/line of the figure); key order is preserved.
+  void AddResult(std::vector<std::pair<std::string, sql::JsonPtr>> kv) {
+    results_.push_back(sql::Json::MakeObject(std::move(kv)));
+  }
+
+  /// Snapshot a node's metric registry under `scope` (e.g. "coordinator").
+  void AddMetrics(const std::string& scope, const obs::Metrics& metrics) {
+    std::vector<sql::JsonPtr> samples;
+    for (const obs::MetricSample& s : metrics.Snapshot()) {
+      std::vector<std::pair<std::string, sql::JsonPtr>> kv;
+      kv.emplace_back("name", sql::Json::MakeString(s.name));
+      kv.emplace_back("value",
+                      sql::Json::MakeNumber(static_cast<double>(s.value)));
+      if (s.kind == obs::MetricSample::Kind::kHistogram) {
+        kv.emplace_back("sum",
+                        sql::Json::MakeNumber(static_cast<double>(s.sum)));
+        kv.emplace_back("p50_ms", sql::Json::MakeNumber(Ms(s.p50)));
+        kv.emplace_back("p95_ms", sql::Json::MakeNumber(Ms(s.p95)));
+        kv.emplace_back("p99_ms", sql::Json::MakeNumber(Ms(s.p99)));
+      }
+      samples.push_back(sql::Json::MakeObject(std::move(kv)));
+    }
+    metrics_.emplace_back(scope, sql::Json::MakeArray(std::move(samples)));
+  }
+
+  sql::JsonPtr ToJson() const {
+    std::vector<std::pair<std::string, sql::JsonPtr>> top;
+    top.emplace_back("bench", sql::Json::MakeString(name_));
+    top.emplace_back("results", sql::Json::MakeArray(results_));
+    top.emplace_back("metrics", sql::Json::MakeObject(metrics_));
+    return sql::Json::MakeObject(std::move(top));
+  }
+
+  /// Write to `path` (no-op when empty). Returns false on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string text = ToJson()->ToString();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<sql::JsonPtr> results_;
+  std::vector<std::pair<std::string, sql::JsonPtr>> metrics_;
+};
 
 }  // namespace citusx::bench
 

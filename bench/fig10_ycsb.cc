@@ -25,6 +25,7 @@ int main() {
 
   std::printf("%-12s %12s %14s %14s\n", "setup", "ops/sec", "read p95 (ms)",
               "update p95 (ms)");
+  // Full p50/p95/p99 triples are printed per setup below the summary row.
   for (const Setup& setup : PaperSetups()) {
     YcsbConfig cfg = config;
     cfg.use_citus = setup.install_citus;
@@ -69,9 +70,12 @@ int main() {
         updates_cfg.read_proportion = 0.0;
         updates = RunDriver(&sim, &deploy.cluster().directory(), probe,
                             YcsbWorkloadA(updates_cfg));
+        LatencyTriple read_lat = Percentiles(reads.latency);
+        LatencyTriple update_lat = Percentiles(updates.latency);
         std::printf("%-12s %12.0f %14.2f %14.2f\n", setup.name.c_str(),
-                    all.PerSecond(), Ms(reads.latency.Percentile(95)),
-                    Ms(updates.latency.Percentile(95)));
+                    all.PerSecond(), read_lat.p95_ms, update_lat.p95_ms);
+        PrintLatencyTriple("reads", reads.latency);
+        PrintLatencyTriple("updates", updates.latency);
         if (all.errors > 0) {
           std::printf("  (%lld errors: %s)\n",
                       static_cast<long long>(all.errors),

@@ -69,10 +69,10 @@ int main() {
       int64_t neworders = GlobalTpccCounters().new_orders - neworders_before;
       double nopm = static_cast<double>(neworders) * 60e9 /
                     static_cast<double>(opts.duration);
+      LatencyTriple lat = Percentiles(r.latency);
       std::printf("%-12s %10.0f %10.0f %12.2f %12.2f %12.2f\n",
-                  setup.name.c_str(), nopm, r.PerMinute(),
-                  Ms(r.latency.Percentile(50)), Ms(r.latency.Percentile(95)),
-                  Ms(r.latency.Percentile(99)));
+                  setup.name.c_str(), nopm, r.PerMinute(), lat.p50_ms,
+                  lat.p95_ms, lat.p99_ms);
       std::fflush(stdout);
       if (r.errors > 0) {
         std::printf("  (%lld errors: %s)\n",

@@ -81,6 +81,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsert(
       return Status::Cancelled("simulation stopping");
     }
     router_count++;
+    ext_->metric_router->Inc();
     std::map<std::string, std::string> map = {
         {table->name, table->ShardName(table->shards[0].shard_id)}};
     opts.table_map = &map;
@@ -135,8 +136,9 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsert(
                                                          : cost.plan_router)) {
     return Status::Cancelled("simulation stopping");
   }
-  (by_shard.size() == 1 && ins.values.size() == 1 ? fast_path_count
-                                                  : router_count)++;
+  bool ins_fast = by_shard.size() == 1 && ins.values.size() == 1;
+  (ins_fast ? fast_path_count : router_count)++;
+  (ins_fast ? ext_->metric_fast_path : ext_->metric_router)->Inc();
   std::vector<Task> tasks;
   int index = 0;
   for (const auto& [shard_idx, rows] : by_shard) {
@@ -194,6 +196,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteDml(
       return Status::Cancelled("simulation stopping");
     }
     router_count++;
+    ext_->metric_router->Inc();
     std::map<std::string, std::string> map = {
         {table->name, table->ShardName(table->shards[0].shard_id)}};
     sql::DeparseOptions opts;
@@ -216,6 +219,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteDml(
       return Status::Cancelled("simulation stopping");
     }
     fast_path_count++;
+    ext_->metric_fast_path->Inc();
     std::map<std::string, std::string> map = {
         {table->name,
          table->ShardName(table->shards[static_cast<size_t>(idx)].shard_id)}};
@@ -238,6 +242,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteDml(
     return Status::Cancelled("simulation stopping");
   }
   pushdown_count++;
+  ext_->metric_pushdown->Inc();
   std::vector<Task> tasks;
   for (size_t i = 0; i < table->shards.size(); i++) {
     std::map<std::string, std::string> map = {
@@ -318,6 +323,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
     }
     if (dist_aligned) {
       pushdown_count++;
+      ext_->metric_pushdown->Inc();
       if (!ext_->node()->cpu().Consume(ext_->node()->cost().plan_pushdown)) {
         return Status::Cancelled("simulation stopping");
       }

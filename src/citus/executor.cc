@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "obs/trace.h"
 #include "sim/channel.h"
 
 namespace citusx::citus {
@@ -41,10 +42,40 @@ Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
     wc->groups.insert({task.colocation_id, task.shard_group});
   }
   if (task.is_write) wc->did_write = true;
+  st.ext->metric_tasks->Inc();
+  // When the session carries an active trace (EXPLAIN ANALYZE), wrap the
+  // task in a span and propagate the context on the wire so the worker's
+  // execution span nests under it.
+  sim::Simulation* sim = st.ext->node()->sim();
+  obs::TraceCollector* tracer = st.ext->node()->tracer();
+  obs::TraceId trace = 0;
+  obs::SpanId parent = 0;
+  obs::SpanId span = 0;
+  if (tracer != nullptr &&
+      obs::ParseTraceContext(st.session->GetVar("citusx.trace_ctx"), &trace,
+                             &parent)) {
+    span = tracer->StartSpan(trace, parent, "task", st.ext->node()->name(),
+                             sim->now());
+    tracer->SetAttr(span, "worker", task.worker);
+    if (task.shard_group >= 0) {
+      tracer->SetAttr(span, "shard_group", std::to_string(task.shard_group));
+    }
+    if (!task.sql.empty()) tracer->SetAttr(span, "sql", task.sql);
+    wc->conn->SetTraceContext(obs::FormatTraceContext(trace, span));
+  }
   Result<engine::QueryResult> r =
       task.is_copy ? wc->conn->CopyIn(task.copy_table, task.copy_columns,
                                       std::move(task.copy_rows))
                    : wc->conn->Query(task.sql);
+  if (span != 0) {
+    wc->conn->SetTraceContext("");
+    if (r.ok()) {
+      tracer->SetRows(span, r->rows.empty()
+                                ? r->rows_affected
+                                : static_cast<int64_t>(r->rows.size()));
+    }
+    tracer->EndSpan(span, sim->now());
+  }
   if (!r.ok()) return r.status();
   (*st.results)[static_cast<size_t>(task.index)] = std::move(r).value();
   return Status::OK();
@@ -207,6 +238,7 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
                 stp->queues[w].runners--;
                 return;
               }
+              ext->metric_pool_growth->Inc();
               RunnerLoop(*stp, w, *extra);
             },
             /*daemon=*/true);

@@ -37,7 +37,18 @@ CitusExtension::CitusExtension(engine::Node* node,
     : node_(node),
       directory_(directory),
       metadata_(std::move(metadata)),
-      config_(config) {}
+      config_(config) {
+  obs::Metrics& m = node_->metrics();
+  metric_tasks = m.counter("citus.executor.tasks");
+  metric_pool_growth = m.counter("citus.executor.pool_growth");
+  metric_prepares = m.counter("citus.2pc.prepares");
+  metric_2pc_commits = m.counter("citus.2pc.commits");
+  metric_1pc_commits = m.counter("citus.2pc.single_node_commits");
+  metric_fast_path = m.counter("citus.planner.fast_path");
+  metric_router = m.counter("citus.planner.router");
+  metric_pushdown = m.counter("citus.planner.pushdown");
+  metric_join_order = m.counter("citus.planner.join_order");
+}
 
 CitusExtension* CitusExtension::Install(
     engine::Node* node, net::NodeDirectory* directory,

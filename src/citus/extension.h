@@ -6,6 +6,7 @@
 #ifndef CITUSX_CITUS_EXTENSION_H_
 #define CITUSX_CITUS_EXTENSION_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -15,6 +16,8 @@
 #include "engine/node.h"
 #include "engine/session.h"
 #include "net/cluster.h"
+#include "obs/metrics.h"
+#include "sim/histogram.h"
 
 namespace citusx::citus {
 
@@ -41,6 +44,15 @@ struct CitusSessionState {
   CitusExtension* extension = nullptr;
 
   ~CitusSessionState();
+};
+
+/// Aggregated execution stats for one normalized statement
+/// (the backing store of the citus_stat_statements view).
+struct StatStatementEntry {
+  std::string tier;        // planner tier of the most recent call
+  int64_t calls = 0;
+  int64_t shards_hit = 0;  // cumulative tasks sent to shards
+  sim::Histogram time;     // per-call virtual time (ns)
 };
 
 struct CitusConfig {
@@ -117,9 +129,35 @@ class CitusExtension {
 
   /// Statistics.
   int64_t two_phase_commits = 0;
+  int64_t two_phase_prepares = 0;  // PREPARE TRANSACTION sent (2 per 2-node 2PC)
   int64_t single_node_commits = 0;
   int64_t deadlocks_detected = 0;
   int64_t recovered_txns = 0;
+
+  /// Metric handles on this node's registry, resolved once at install.
+  obs::Counter* metric_tasks = nullptr;          // citus.executor.tasks
+  obs::Counter* metric_pool_growth = nullptr;    // citus.executor.pool_growth
+  obs::Counter* metric_prepares = nullptr;       // citus.2pc.prepares
+  obs::Counter* metric_2pc_commits = nullptr;    // citus.2pc.commits
+  obs::Counter* metric_1pc_commits = nullptr;    // citus.2pc.single_node_commits
+  obs::Counter* metric_fast_path = nullptr;      // citus.planner.fast_path
+  obs::Counter* metric_router = nullptr;         // citus.planner.router
+  obs::Counter* metric_pushdown = nullptr;       // citus.planner.pushdown
+  obs::Counter* metric_join_order = nullptr;     // citus.planner.join_order
+
+  // ---- citus_stat_statements backing store ----
+  void RecordStatement(const std::string& normalized, const std::string& tier,
+                       sim::Time elapsed, int64_t shards) {
+    StatStatementEntry& e = stat_statements_[normalized];
+    e.tier = tier;
+    e.calls++;
+    e.shards_hit += shards;
+    e.time.Record(elapsed);
+  }
+  const std::map<std::string, StatStatementEntry>& stat_statements() const {
+    return stat_statements_;
+  }
+  void ResetStatStatements() { stat_statements_.clear(); }
 
   /// The engine table holding commit records ("pg_dist_transaction").
   static constexpr const char* kCommitRecordsTable = "pg_dist_transaction";
@@ -149,6 +187,7 @@ class CitusExtension {
   /// Distributed transactions this node initiated that are still in flight;
   /// 2PC recovery must not touch their prepared transactions.
   std::set<std::string> active_dist_txns_;
+  std::map<std::string, StatStatementEntry> stat_statements_;
 
  public:
   void MarkDistTxnActive(const std::string& id) {

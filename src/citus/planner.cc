@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "engine/planner.h"
+#include "obs/trace.h"
 #include "sql/deparser.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
@@ -709,11 +710,48 @@ Result<engine::QueryResult> ExplainDistributed(
   return out;
 }
 
+// Snapshot of the tier counters plus the executor's task counter; the delta
+// across an execution identifies the tier taken and the shards touched.
+struct TierSnapshot {
+  int64_t fast_path = 0;
+  int64_t router = 0;
+  int64_t pushdown = 0;
+  int64_t join_order = 0;
+  int64_t tasks = 0;
+};
+
+TierSnapshot SnapshotTiers(CitusExtension* ext) {
+  TierSnapshot s;
+  s.fast_path = DistributedPlanner::fast_path_count;
+  s.router = DistributedPlanner::router_count;
+  s.pushdown = DistributedPlanner::pushdown_count;
+  s.join_order = DistributedPlanner::join_order_count;
+  s.tasks = ext->metric_tasks->value();
+  return s;
+}
+
+std::string TierName(const TierSnapshot& before, const TierSnapshot& after,
+                     const sql::Statement& stmt) {
+  // Most-complex tier first: a join-order (repartition) plan internally
+  // fans out pushdown-style scan tasks, so its counter wins over nested
+  // increments of the simpler tiers.
+  if (after.join_order > before.join_order) return "join-order";
+  if (after.pushdown > before.pushdown) return "pushdown";
+  if (after.router > before.router) return "router";
+  if (after.fast_path > before.fast_path) return "fast path";
+  return stmt.kind == sql::Statement::Kind::kSelect ? "other" : "modify";
+}
+
+double MsOf(sim::Time t) { return static_cast<double>(t) / 1e6; }
+
 }  // namespace
 
 Result<std::optional<engine::QueryResult>> DistributedPlanner::PlanAndExecute(
     engine::Session& session, const sql::Statement& stmt,
     const std::vector<sql::Datum>& params) {
+  CITUSX_ASSIGN_OR_RETURN(std::optional<engine::QueryResult> view,
+                          MaybeExecuteStatView(ext_, session, stmt, params));
+  if (view.has_value()) return view;
   TableAnalysis analysis = AnalyzeTables(ext_->metadata(), stmt);
   if (!analysis.HasCitusTables()) return std::optional<engine::QueryResult>();
   if (!analysis.local.empty()) {
@@ -721,27 +759,160 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::PlanAndExecute(
         "joining distributed tables with local tables is not supported");
   }
   if (stmt.is_explain) {
+    if (stmt.is_analyze) {
+      CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                              ExplainAnalyze(session, stmt, params, analysis));
+      return std::optional<engine::QueryResult>(std::move(r));
+    }
     CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
                             ExplainDistributed(ext_, stmt, params, analysis));
     return std::optional<engine::QueryResult>(std::move(r));
   }
-  switch (stmt.kind) {
-    case sql::Statement::Kind::kSelect: {
-      CITUSX_ASSIGN_OR_RETURN(
-          engine::QueryResult r,
-          ExecuteSelect(session, *stmt.select, params, analysis));
-      return std::optional<engine::QueryResult>(std::move(r));
+  TierSnapshot before = SnapshotTiers(ext_);
+  sim::Time started = ext_->node()->sim()->now();
+  Result<engine::QueryResult> result = [&]() -> Result<engine::QueryResult> {
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kSelect:
+        return ExecuteSelect(session, *stmt.select, params, analysis);
+      case sql::Statement::Kind::kInsert:
+      case sql::Statement::Kind::kUpdate:
+      case sql::Statement::Kind::kDelete:
+        return ExecuteDml(session, stmt, params, analysis);
+      default:
+        return Status::Internal("unexpected statement in distributed planner");
     }
-    case sql::Statement::Kind::kInsert:
-    case sql::Statement::Kind::kUpdate:
-    case sql::Statement::Kind::kDelete: {
-      CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
-                              ExecuteDml(session, stmt, params, analysis));
-      return std::optional<engine::QueryResult>(std::move(r));
-    }
-    default:
-      return Status::Internal("unexpected statement in distributed planner");
+  }();
+  if (!result.ok()) return result.status();
+  TierSnapshot after = SnapshotTiers(ext_);
+  sql::DeparseOptions nopts;
+  nopts.normalize = true;
+  ext_->RecordStatement(sql::DeparseStatement(stmt, nopts),
+                        TierName(before, after, stmt),
+                        ext_->node()->sim()->now() - started,
+                        after.tasks - before.tasks);
+  return std::optional<engine::QueryResult>(std::move(result).value());
+}
+
+Result<engine::QueryResult> DistributedPlanner::ExplainAnalyze(
+    engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+  sim::Simulation* sim = ext_->node()->sim();
+  obs::TraceCollector* tracer = ext_->node()->tracer();
+  TierSnapshot before = SnapshotTiers(ext_);
+
+  // Root span: the whole distributed query on the coordinator. Its context
+  // is planted in the session variable so the adaptive executor parents its
+  // task spans under it and propagates them to the workers.
+  // Execute the statement with the EXPLAIN flags stripped: DML deparsing
+  // would otherwise propagate the EXPLAIN ANALYZE prefix into the worker
+  // task SQL.
+  sql::Statement inner = stmt;
+  inner.is_explain = false;
+  inner.is_analyze = false;
+
+  obs::TraceId trace = 0;
+  obs::SpanId root = 0;
+  std::string saved_ctx;
+  if (tracer != nullptr) {
+    trace = tracer->NewTraceId();
+    root = tracer->StartSpan(trace, 0, "distributed query",
+                             ext_->node()->name(), sim->now());
+    sql::DeparseOptions sopts;
+    sopts.params = &params;
+    tracer->SetAttr(root, "sql", sql::DeparseStatement(inner, sopts));
+    saved_ctx = session.GetVar("citusx.trace_ctx");
+    session.SetVar("citusx.trace_ctx", obs::FormatTraceContext(trace, root));
   }
+
+  sim::Time started = sim->now();
+  Result<engine::QueryResult> result = [&]() -> Result<engine::QueryResult> {
+    switch (inner.kind) {
+      case sql::Statement::Kind::kSelect:
+        return ExecuteSelect(session, *inner.select, params, analysis);
+      case sql::Statement::Kind::kInsert:
+      case sql::Statement::Kind::kUpdate:
+      case sql::Statement::Kind::kDelete:
+        return ExecuteDml(session, inner, params, analysis);
+      default:
+        return Status::Internal("unexpected statement in EXPLAIN ANALYZE");
+    }
+  }();
+  sim::Time elapsed = sim->now() - started;
+  if (tracer != nullptr) {
+    session.SetVar("citusx.trace_ctx", saved_ctx);
+    if (result.ok()) {
+      tracer->SetRows(root, result->rows.empty()
+                                ? result->rows_affected
+                                : static_cast<int64_t>(result->rows.size()));
+    }
+    tracer->EndSpan(root, sim->now());
+  }
+  if (!result.ok()) return result.status();
+
+  TierSnapshot after = SnapshotTiers(ext_);
+  std::string tier = TierName(before, after, stmt);
+  int64_t root_rows = result->rows.empty()
+                          ? result->rows_affected
+                          : static_cast<int64_t>(result->rows.size());
+
+  engine::QueryResult out;
+  out.column_names = {"QUERY PLAN"};
+  out.column_types = {sql::TypeId::kText};
+  auto add = [&](const std::string& s) {
+    out.rows.push_back({sql::Datum::Text(s)});
+  };
+  const char* label = tier == "fast path" ? "Fast Path Router"
+                      : tier == "router"  ? "Router"
+                                          : "Adaptive";
+  add(StrFormat("Custom Scan (Citus %s)  (actual time=%.3f ms, rows=%lld)",
+                label, MsOf(elapsed),
+                static_cast<long long>(root_rows)));
+  add("  Planner Tier: " + tier);
+  if (tracer == nullptr) {
+    add(StrFormat("  Task Count: %lld (tracing disabled: node not in a "
+                  "cluster)",
+                  static_cast<long long>(after.tasks - before.tasks)));
+    out.command_tag = "EXPLAIN";
+    return out;
+  }
+
+  // Render the span tree: task spans are children of the root, worker
+  // execution spans are children of their task.
+  std::vector<obs::Span> spans = tracer->TraceSpans(trace);
+  std::map<obs::SpanId, std::vector<const obs::Span*>> children;
+  for (const auto& s : spans) {
+    if (s.id != root) children[s.parent_id].push_back(&s);
+  }
+  std::vector<const obs::Span*> task_spans;
+  for (const obs::Span* s : children[root]) {
+    if (s->name == "task") task_spans.push_back(s);
+  }
+  add(StrFormat("  Task Count: %zu", task_spans.size()));
+  for (const obs::Span* task : task_spans) {
+    auto attr = [&](const char* key) -> std::string {
+      auto it = task->attrs.find(key);
+      return it == task->attrs.end() ? std::string() : it->second;
+    };
+    std::string group = attr("shard_group");
+    add(StrFormat("  ->  Task on %s%s  (time=%.3f ms, rows=%lld)",
+                  attr("worker").c_str(),
+                  group.empty() ? ""
+                                : StrFormat(" (shard group %s)", group.c_str())
+                                      .c_str(),
+                  MsOf(task->duration()),
+                  static_cast<long long>(task->rows)));
+    std::string sql = attr("sql");
+    if (!sql.empty()) add("        Query: " + sql);
+    for (const obs::Span* w : children[task->id]) {
+      if (w->name != "worker execution") continue;
+      add(StrFormat("        ->  Worker Execution on %s  (time=%.3f ms, "
+                    "rows=%lld)",
+                    w->node.c_str(), MsOf(w->duration()),
+                    static_cast<long long>(w->rows)));
+    }
+  }
+  out.command_tag = "EXPLAIN";
+  return out;
 }
 
 Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
@@ -800,6 +971,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
       return Status::Cancelled("simulation stopping");
     }
     (is_fast_path ? fast_path_count : router_count)++;
+    (is_fast_path ? ext_->metric_fast_path : ext_->metric_router)->Inc();
     auto map = ShardGroupTableMap(analysis, shard_index);
     opts.table_map = &map;
     sql::Statement stmt;
@@ -851,6 +1023,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
     const CitusTable* rep = analysis.distributed[0];
     int num_groups = static_cast<int>(rep->shards.size());
     pushdown_count++;
+    ext_->metric_pushdown->Inc();
     AdaptiveExecutor executor(ext_);
 
     if (has_agg && !group_has_dist) {
@@ -1016,6 +1189,7 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
       TryJoinOrderPlan(session, sel, params, analysis));
   if (join_result.has_value()) {
     join_order_count++;
+    ext_->metric_join_order->Inc();
     return std::move(*join_result);
   }
   return Status::NotSupported(

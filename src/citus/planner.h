@@ -84,8 +84,22 @@ class DistributedPlanner {
       engine::Session& session, const sql::SelectStmt& sel,
       const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
 
+  /// EXPLAIN ANALYZE: execute the statement under a fresh trace and render
+  /// the resulting span tree (per-task, per-shard timings and row counts).
+  Result<engine::QueryResult> ExplainAnalyze(
+      engine::Session& session, const sql::Statement& stmt,
+      const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+
   CitusExtension* ext_;
 };
+
+// ---- observability views (stat_views.cc) ----
+
+/// Intercept SELECTs over the citus_stat_statements / citus_stat_activity
+/// monitoring views. Returns nullopt when `stmt` references neither.
+Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
+    CitusExtension* ext, engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params);
 
 // ---- hooks implemented in ddl.cc / dml.cc ----
 

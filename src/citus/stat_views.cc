@@ -1,0 +1,106 @@
+// Observability views (obs subsystem SQL surface): citus_stat_statements
+// and citus_stat_activity. Both are materialized on demand as in-memory
+// relations and fed through the local planner, so arbitrary WHERE / ORDER
+// BY / aggregation works against them.
+#include <set>
+
+#include "citus/planner.h"
+#include "engine/planner.h"
+
+namespace citusx::citus {
+
+namespace {
+
+constexpr const char* kStatStatements = "citus_stat_statements";
+constexpr const char* kStatActivity = "citus_stat_activity";
+
+void CollectNames(const sql::TableRef& ref, std::set<std::string>* out) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kTable:
+      out->insert(ref.name);
+      return;
+    case sql::TableRef::Kind::kSubquery:
+      for (const auto& f : ref.subquery->from) CollectNames(*f, out);
+      return;
+    case sql::TableRef::Kind::kJoin:
+      CollectNames(*ref.left, out);
+      CollectNames(*ref.right, out);
+      return;
+  }
+}
+
+engine::TempRelation BuildStatStatements(CitusExtension* ext) {
+  engine::TempRelation rel;
+  rel.column_names = {"query",         "tier",        "calls",
+                      "total_time_ms", "p95_time_ms", "shards_hit"};
+  rel.column_types = {sql::TypeId::kText,   sql::TypeId::kText,
+                      sql::TypeId::kInt8,   sql::TypeId::kFloat8,
+                      sql::TypeId::kFloat8, sql::TypeId::kInt8};
+  for (const auto& [query, e] : ext->stat_statements()) {
+    rel.rows.push_back(
+        {sql::Datum::Text(query), sql::Datum::Text(e.tier),
+         sql::Datum::Int8(e.calls),
+         sql::Datum::Float8(static_cast<double>(e.time.sum()) / 1e6),
+         sql::Datum::Float8(static_cast<double>(e.time.Percentile(95)) / 1e6),
+         sql::Datum::Int8(e.shards_hit)});
+  }
+  return rel;
+}
+
+engine::TempRelation BuildStatActivity(CitusExtension* ext) {
+  engine::TempRelation rel;
+  rel.column_names = {"node_name", "local_xid", "dist_txn_id", "state"};
+  rel.column_types = {sql::TypeId::kText, sql::TypeId::kInt8,
+                      sql::TypeId::kText, sql::TypeId::kText};
+  for (const std::string& name : ext->directory().names()) {
+    engine::Node* node = ext->directory().Find(name);
+    if (node == nullptr || node->is_down()) continue;
+    for (const auto& [xid, dist] : node->RegisteredTxns()) {
+      rel.rows.push_back(
+          {sql::Datum::Text(name), sql::Datum::Int8(static_cast<int64_t>(xid)),
+           sql::Datum::Text(dist),
+           sql::Datum::Text(node->locks().IsWaiting(xid) ? "waiting"
+                                                         : "active")});
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
+    CitusExtension* ext, engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params) {
+  if (stmt.kind != sql::Statement::Kind::kSelect || stmt.is_explain ||
+      stmt.select == nullptr) {
+    return std::optional<engine::QueryResult>();
+  }
+  std::set<std::string> names;
+  for (const auto& f : stmt.select->from) CollectNames(*f, &names);
+  bool wants_statements = names.count(kStatStatements) > 0;
+  bool wants_activity = names.count(kStatActivity) > 0;
+  if (!wants_statements && !wants_activity) {
+    return std::optional<engine::QueryResult>();
+  }
+  engine::TempRelation statements;
+  engine::TempRelation activity;
+  std::map<std::string, const engine::TempRelation*> temps;
+  if (wants_statements) {
+    statements = BuildStatStatements(ext);
+    temps[kStatStatements] = &statements;
+  }
+  if (wants_activity) {
+    activity = BuildStatActivity(ext);
+    temps[kStatActivity] = &activity;
+  }
+  engine::PlannerInput input;
+  input.catalog = &session.node()->catalog();
+  input.temp_relations = &temps;
+  input.params = &params;
+  engine::ExecContext ctx = session.MakeExecContext(&params);
+  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
+                          engine::ExecuteSelect(*stmt.select, input, ctx));
+  return std::optional<engine::QueryResult>(std::move(r));
+}
+
+}  // namespace citusx::citus

@@ -89,6 +89,7 @@ Status CitusExtension::PreCommit(engine::Session& session) {
   if (!reader_status.ok()) return reader_status;
   if (writers.empty()) {
     single_node_commits++;
+    metric_1pc_commits->Inc();
     return Status::OK();
   }
   if (writers.size() == 1) {
@@ -99,6 +100,7 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     wc->did_write = false;
     wc->groups.clear();
     single_node_commits++;
+    metric_1pc_commits->Inc();
     if (!r.ok()) return r.status();
     return Status::OK();
   }
@@ -109,12 +111,14 @@ Status CitusExtension::PreCommit(engine::Session& session) {
   for (WorkerConnection* wc : writers) {
     gids[wc] = MakeGid(state.dist_txn_id, seq++);
   }
-  Status failure =
-      ForAllParallel(node_->sim(), writers, [&gids](WorkerConnection* wc) {
+  Status failure = ForAllParallel(
+      node_->sim(), writers, [this, &gids](WorkerConnection* wc) {
         const std::string& gid = gids[wc];
         auto r = wc->conn->Query("PREPARE TRANSACTION " +
                                  QuoteSqlLiteral(gid));
         if (!r.ok()) return r.status();
+        two_phase_prepares++;
+        metric_prepares->Inc();
         wc->prepared_gid = gid;
         wc->txn_open = false;
         return Status::OK();
@@ -142,6 +146,7 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     CITUSX_RETURN_IF_ERROR(WriteCommitRecord(this, session, wc->prepared_gid));
   }
   two_phase_commits++;
+  metric_2pc_commits->Inc();
   return Status::OK();
 }
 
@@ -175,6 +180,9 @@ void CitusExtension::PostCommit(engine::Session& session) {
   }
   MarkDistTxnEnded(state.dist_txn_id);
   state.dist_txn_id.clear();
+  // Clear the deadlock-detection tag: the next local transaction on this
+  // session must not re-register under the ended distributed id.
+  session.SetVar("citus.distributed_txid", "");
 }
 
 void CitusExtension::PostAbort(engine::Session& session) {
@@ -198,6 +206,9 @@ void CitusExtension::PostAbort(engine::Session& session) {
   }
   MarkDistTxnEnded(state.dist_txn_id);
   state.dist_txn_id.clear();
+  // Clear the deadlock-detection tag: the next local transaction on this
+  // session must not re-register under the ended distributed id.
+  session.SetVar("citus.distributed_txid", "");
 }
 
 Result<int> CitusExtension::RecoverTwoPhaseCommits(engine::Session& session) {

@@ -394,6 +394,79 @@ void CitusExtension::RegisterUdfs() {
     return sql::Datum::Null();
   };
 
+  udfs["citus_remove_node"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) return Status::InvalidArgument("citus_remove_node(name)");
+    std::string name = args[0].ToText();
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    auto& workers = ext->metadata().workers;
+    bool registered = false;
+    for (const auto& w : workers) registered |= w == name;
+    if (!registered) {
+      return Status::NotFound("node is not registered: " + name);
+    }
+    // Refuse while the node still holds shard placements; the user must
+    // drain it first (rebalance / citus_move_shard_placement).
+    for (const auto& [tname, table] : ext->metadata().tables()) {
+      if (table.is_reference) continue;
+      for (const auto& shard : table.shards) {
+        if (shard.placement == name) {
+          return Status::InvalidArgument(
+              "cannot remove node " + name + ": it still holds placements of " +
+              tname + " (drain it with rebalance_table_shards first)");
+        }
+      }
+    }
+    // Drop reference-table replicas living on the node, then forget it.
+    AdaptiveExecutor executor(ext);
+    for (auto& [tname, table] : ext->metadata().mutable_tables()) {
+      if (!table.is_reference) continue;
+      auto& replicas = table.replica_nodes;
+      bool had_replica = false;
+      for (auto it = replicas.begin(); it != replicas.end();) {
+        if (*it == name) {
+          had_replica = true;
+          it = replicas.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (had_replica) {
+        Task t;
+        t.worker = name;
+        t.sql = "DROP TABLE IF EXISTS " +
+                table.ShardName(table.shards[0].shard_id);
+        t.is_write = true;
+        std::vector<Task> tasks;
+        tasks.push_back(std::move(t));
+        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
+                                executor.Execute(session, std::move(tasks)));
+        (void)results;
+      }
+    }
+    for (auto it = workers.begin(); it != workers.end();) {
+      if (*it == name) {
+        it = workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_stat_statements_reset"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    (void)session;
+    (void)args;
+    ext->ResetStatStatements();
+    return sql::Datum::Null();
+  };
+
   udfs["citus_create_restore_point"] =
       [ext](engine::Session& session,
             const std::vector<sql::Datum>& args) -> Result<sql::Datum> {

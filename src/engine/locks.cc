@@ -35,6 +35,13 @@ Status LockManager::Acquire(const LockTag& tag, TxnId txn, LockMode mode) {
   waiter->mode = mode;
   waiter->process = sim::Simulation::Current();
   state.queue.push_back(waiter);
+  if (waits_metric_ != nullptr) waits_metric_->Inc();
+  const sim::Time wait_start = sim_->now();
+  auto record_wait = [&] {
+    if (wait_time_metric_ != nullptr) {
+      wait_time_metric_->Record(sim_->now() - wait_start);
+    }
+  };
   for (;;) {
     if (!sim_->Block()) {
       // Simulation shutdown: drop out of the queue.
@@ -48,9 +55,11 @@ Status LockManager::Acquire(const LockTag& tag, TxnId txn, LockMode mode) {
       return Status::Cancelled("simulation stopping");
     }
     if (waiter->cancelled) {
+      record_wait();
       return Status::Deadlock("canceling statement due to deadlock");
     }
     if (waiter->granted) {
+      record_wait();
       bool first_grant = true;
       auto it = held_by_txn_.find(txn);
       if (it != held_by_txn_.end()) {
@@ -96,6 +105,7 @@ bool LockManager::CancelWaiter(TxnId txn) {
     for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
       if ((*it)->txn == txn && !(*it)->granted && !(*it)->cancelled) {
         (*it)->cancelled = true;
+        if (deadlocks_metric_ != nullptr) deadlocks_metric_->Inc();
         sim_->Wake((*it)->process);
         state.queue.erase(it);
         GrantWaiters(&state);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "storage/heap.h"
 #include "storage/mvcc.h"
@@ -71,6 +72,13 @@ class LockManager {
 
   int64_t locks_held() const;
 
+  /// Mirror lock waits / wait time / deadlock cancellations into a registry.
+  void BindMetrics(obs::Metrics* metrics) {
+    waits_metric_ = metrics->counter("locks.waits");
+    wait_time_metric_ = metrics->histogram("locks.wait_time");
+    deadlocks_metric_ = metrics->counter("locks.deadlock_cancels");
+  }
+
  private:
   struct Waiter {
     TxnId txn;
@@ -90,6 +98,9 @@ class LockManager {
   sim::Simulation* sim_;
   std::unordered_map<LockTag, LockState, LockTagHash> locks_;
   std::unordered_map<TxnId, std::vector<LockTag>> held_by_txn_;
+  obs::Counter* waits_metric_ = nullptr;
+  obs::Histogram* wait_time_metric_ = nullptr;
+  obs::Counter* deadlocks_metric_ = nullptr;
 };
 
 }  // namespace citusx::engine

@@ -12,7 +12,11 @@ Node::Node(sim::Simulation* sim, std::string name, const sim::CostModel& cost)
       disk_(sim, cost.disk_iops, cost.disk_queue_depth),
       pool_(sim, &disk_, cost.buffer_pool_bytes, cost.page_bytes),
       catalog_(&pool_),
-      locks_(sim) {}
+      locks_(sim) {
+  pool_.BindMetrics(&metrics_);
+  locks_.BindMetrics(&metrics_);
+  txns_.BindMetrics(&metrics_);
+}
 
 Node::~Node() = default;
 

@@ -11,6 +11,8 @@
 #include "engine/hooks.h"
 #include "engine/locks.h"
 #include "engine/txn.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/resources.h"
 
@@ -46,6 +48,12 @@ class Node {
   TxnManager& txns() { return txns_; }
   LockManager& locks() { return locks_; }
   ExtensionHooks& hooks() { return hooks_; }
+  obs::Metrics& metrics() { return metrics_; }
+
+  /// Trace collector shared across the cluster (set by net::Cluster);
+  /// nullptr when the node runs standalone — tracing is then disabled.
+  obs::TraceCollector* tracer() { return tracer_; }
+  void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
 
   /// Open a local session (the net layer opens one per connection).
   std::unique_ptr<Session> OpenSession();
@@ -78,6 +86,12 @@ class Node {
 
   const std::string& DistIdOf(TxnId local) const;
 
+  /// Snapshot of (local txn, distributed id) registrations — the backing
+  /// data of the citus_stat_activity monitoring view.
+  std::map<TxnId, std::string> RegisteredTxns() const {
+    return dist_id_of_txn_;
+  }
+
   // ---- failure simulation ----
 
   bool is_down() const { return down_; }
@@ -102,6 +116,8 @@ class Node {
   sim::Simulation* sim_;
   std::string name_;
   sim::CostModel cost_;
+  obs::Metrics metrics_;
+  obs::TraceCollector* tracer_ = nullptr;
   sim::CpuResource cpu_;
   sim::DiskResource disk_;
   storage::BufferPool pool_;

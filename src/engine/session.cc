@@ -181,6 +181,26 @@ Result<QueryResult> Session::Execute(const std::string& sql,
     return Status::Cancelled("simulation stopping");
   }
   CITUSX_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  // If the request carried a trace context (set by the net backend), record
+  // this statement as a "worker execution" span under the remote caller's.
+  obs::TraceCollector* tracer = node_->tracer();
+  const std::string trace_ctx = GetVar("citusx.trace_ctx");
+  obs::TraceId trace = 0;
+  obs::SpanId parent = 0;
+  if (tracer != nullptr && !trace_ctx.empty() &&
+      obs::ParseTraceContext(trace_ctx, &trace, &parent)) {
+    obs::SpanId span = tracer->StartSpan(trace, parent, "worker execution",
+                                         node_->name(), node_->sim()->now());
+    tracer->SetAttr(span, "sql", sql);
+    Result<QueryResult> result = ExecuteParsed(stmt, params);
+    if (result.ok()) {
+      tracer->SetRows(span, result->rows.empty()
+                                ? result->rows_affected
+                                : static_cast<int64_t>(result->rows.size()));
+    }
+    tracer->EndSpan(span, node_->sim()->now());
+    return result;
+  }
   return ExecuteParsed(stmt, params);
 }
 
@@ -252,6 +272,35 @@ Result<QueryResult> Session::DispatchStatement(
         PlannerInput input;
         input.catalog = &node_->catalog();
         input.params = &params;
+        if (stmt.is_explain && stmt.is_analyze) {
+          // EXPLAIN ANALYZE: execute for real, then append the measured
+          // virtual time and row count to the plan description.
+          const sim::Time started = node_->sim()->now();
+          Result<QueryResult> real = [&]() -> Result<QueryResult> {
+            switch (stmt.kind) {
+              case sql::Statement::Kind::kSelect:
+                return ExecuteSelect(*stmt.select, input, ctx);
+              case sql::Statement::Kind::kInsert:
+                return ExecuteInsert(*stmt.insert, input, ctx);
+              case sql::Statement::Kind::kUpdate:
+                return ExecuteUpdate(*stmt.update, input, ctx);
+              default:
+                return ExecuteDelete(*stmt.del, input, ctx);
+            }
+          }();
+          if (!real.ok()) return real.status();
+          CITUSX_ASSIGN_OR_RETURN(QueryResult out,
+                                  ExplainStatement(stmt, input));
+          int64_t rows = real->rows.empty()
+                             ? real->rows_affected
+                             : static_cast<int64_t>(real->rows.size());
+          double ms = static_cast<double>(node_->sim()->now() - started) /
+                      static_cast<double>(sim::kMillisecond);
+          out.rows.push_back({sql::Datum::Text(StrFormat(
+              "Actual: time=%.3f ms, rows=%lld", ms,
+              static_cast<long long>(rows)))});
+          return out;
+        }
         if (stmt.is_explain) return ExplainStatement(stmt, input);
         switch (stmt.kind) {
           case sql::Statement::Kind::kSelect:

@@ -12,11 +12,13 @@ TxnId TxnManager::Begin() {
 void TxnManager::Commit(TxnId xid) {
   if (xid < states_.size()) states_[xid] = TxnState::kCommitted;
   active_.erase(xid);
+  if (commits_metric_ != nullptr) commits_metric_->Inc();
 }
 
 void TxnManager::Abort(TxnId xid) {
   if (xid < states_.size()) states_[xid] = TxnState::kAborted;
   active_.erase(xid);
+  if (aborts_metric_ != nullptr) aborts_metric_->Inc();
 }
 
 Status TxnManager::Prepare(TxnId xid, const std::string& gid) {
@@ -28,6 +30,7 @@ Status TxnManager::Prepare(TxnId xid, const std::string& gid) {
   }
   states_[xid] = TxnState::kPrepared;
   prepared_[gid] = PreparedTxn{gid, xid};
+  if (prepares_metric_ != nullptr) prepares_metric_->Inc();
   // Remains in active_ so snapshots keep treating it as in-progress.
   return Status::OK();
 }
@@ -41,6 +44,7 @@ Result<TxnId> TxnManager::CommitPrepared(const std::string& gid) {
   states_[xid] = TxnState::kCommitted;
   active_.erase(xid);
   prepared_.erase(it);
+  if (commits_metric_ != nullptr) commits_metric_->Inc();
   return xid;
 }
 
@@ -53,6 +57,7 @@ Result<TxnId> TxnManager::RollbackPrepared(const std::string& gid) {
   states_[xid] = TxnState::kAborted;
   active_.erase(xid);
   prepared_.erase(it);
+  if (aborts_metric_ != nullptr) aborts_metric_->Inc();
   return xid;
 }
 

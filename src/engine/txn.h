@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/mvcc.h"
 
 namespace citusx::engine {
@@ -76,10 +77,20 @@ class TxnManager : public storage::TxnStatusResolver {
 
   int64_t active_count() const { return static_cast<int64_t>(active_.size()); }
 
+  /// Mirror commit/abort/prepare counts into a metrics registry.
+  void BindMetrics(obs::Metrics* metrics) {
+    commits_metric_ = metrics->counter("txn.commits");
+    aborts_metric_ = metrics->counter("txn.aborts");
+    prepares_metric_ = metrics->counter("txn.prepares");
+  }
+
  private:
   std::vector<TxnState> states_;  // indexed by xid
   std::set<TxnId> active_;        // in-progress (incl. prepared)
   std::map<std::string, PreparedTxn> prepared_;
+  obs::Counter* commits_metric_ = nullptr;
+  obs::Counter* aborts_metric_ = nullptr;
+  obs::Counter* prepares_metric_ = nullptr;
 };
 
 }  // namespace citusx::engine

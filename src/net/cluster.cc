@@ -12,7 +12,10 @@ Cluster::Cluster(sim::Simulation* sim, const sim::CostModel& cost,
     nodes_.push_back(std::make_unique<engine::Node>(
         sim, StrFormat("worker%d", i), cost));
   }
-  for (auto& n : nodes_) directory_.Register(n.get());
+  for (auto& n : nodes_) {
+    n->set_tracer(&tracer_);
+    directory_.Register(n.get());
+  }
 }
 
 std::vector<engine::Node*> Cluster::workers() {

@@ -72,8 +72,12 @@ class Cluster {
   NodeDirectory& directory() { return directory_; }
   sim::Simulation* sim() { return sim_; }
 
+  /// Cluster-wide trace collector; every node's tracer() points here.
+  obs::TraceCollector& tracer() { return tracer_; }
+
  private:
   sim::Simulation* sim_;
+  obs::TraceCollector tracer_;
   NodeDirectory directory_;
   std::vector<std::unique_ptr<engine::Node>> nodes_;
   int num_workers_;

@@ -18,7 +18,11 @@ Connection::Connection(sim::Simulation* sim, engine::Node* client,
       server_(server),
       gate_(gate),
       requests_(std::make_shared<sim::Channel<Request>>(sim)),
-      responses_(std::make_shared<sim::Channel<Response>>(sim)) {}
+      responses_(std::make_shared<sim::Channel<Response>>(sim)) {
+  round_trips_metric_ = server->metrics().counter("net.round_trips");
+  bytes_out_metric_ = server->metrics().counter("net.bytes_received");
+  bytes_in_metric_ = server->metrics().counter("net.bytes_sent");
+}
 
 sim::Time Connection::HalfRtt() const {
   // Loopback connections (coordinator acting as worker) are much faster.
@@ -40,6 +44,7 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
   }
   auto conn = std::unique_ptr<Connection>(
       new Connection(sim, client, server, gate));
+  server->metrics().counter("net.connections_opened")->Inc();
   // Establishment: RTT handshakes + backend process fork on the server.
   if (!sim->WaitFor(server->cost().connect_cost +
                     (client == server ? 50 * sim::kMicrosecond
@@ -65,6 +70,7 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
           if (server->is_down()) {
             resp.status = Status::Unavailable(server->name() + " is down");
           } else if (!req->batch.empty()) {
+            session->SetVar("citusx.trace_ctx", req->trace_context);
             for (const auto& sql : req->batch) {
               Result<engine::QueryResult> r = session->Execute(sql);
               if (!r.ok()) {
@@ -74,6 +80,7 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
               resp.result = std::move(r).value();
             }
           } else {
+            session->SetVar("citusx.trace_ctx", req->trace_context);
             Result<engine::QueryResult> r =
                 req->kind == Request::Kind::kQuery
                     ? session->Execute(req->sql, req->params)
@@ -97,11 +104,14 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
   if (server_->is_down()) {
     return Status::Unavailable(server_->name() + " is down");
   }
+  req.trace_context = trace_context_;
   // Outbound latency plus bandwidth for COPY payloads.
   int64_t out_bytes = static_cast<int64_t>(req.sql.size());
   for (const auto& row : req.copy_rows) {
     for (const auto& f : row) out_bytes += static_cast<int64_t>(f.size()) + 1;
   }
+  round_trips_metric_->Inc();
+  bytes_out_metric_->Inc(out_bytes);
   sim::Time bw = out_bytes * sim::kSecond / server_->cost().net_bytes_per_second;
   if (!sim_->WaitFor(HalfRtt() + bw)) {
     return Status::Cancelled("simulation stopping");
@@ -111,6 +121,7 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
   if (!resp.has_value()) return Status::Cancelled("connection torn down");
   // Inbound latency plus result bandwidth plus client-side deserialization.
   int64_t in_bytes = ResultWireBytes(resp->result);
+  bytes_in_metric_->Inc(in_bytes);
   sim::Time in_bw = in_bytes * sim::kSecond /
                     server_->cost().net_bytes_per_second;
   if (!sim_->WaitFor(HalfRtt() + in_bw)) {

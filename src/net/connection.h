@@ -70,6 +70,11 @@ class Connection {
   engine::Node* server() const { return server_; }
   bool closed() const { return closed_; }
 
+  /// Trace context ("trace_id:span_id") attached to every subsequent request
+  /// so the server-side session can parent its spans under the caller's.
+  /// Pass an empty string to stop propagating.
+  void SetTraceContext(std::string ctx) { trace_context_ = std::move(ctx); }
+
  private:
   struct Request {
     enum class Kind { kQuery, kCopy };
@@ -80,6 +85,7 @@ class Connection {
     std::string copy_table;
     std::vector<std::string> copy_columns;
     std::vector<std::vector<std::string>> copy_rows;
+    std::string trace_context;  // empty = not traced
   };
   struct Response {
     Status status;
@@ -101,6 +107,11 @@ class Connection {
   std::shared_ptr<sim::Channel<Request>> requests_;
   std::shared_ptr<sim::Channel<Response>> responses_;
   bool closed_ = false;
+  std::string trace_context_;
+  // Server-node metric handles, resolved once at open.
+  obs::Counter* round_trips_metric_ = nullptr;
+  obs::Counter* bytes_out_metric_ = nullptr;
+  obs::Counter* bytes_in_metric_ = nullptr;
 };
 
 /// Estimated wire size of a query result (for bandwidth charging).

@@ -268,6 +268,8 @@ struct Statement {
 
   /// EXPLAIN <statement>: plan and describe instead of executing.
   bool is_explain = false;
+  /// EXPLAIN ANALYZE <statement>: execute too, reporting actual timings.
+  bool is_analyze = false;
 
   SelectPtr select;
   std::shared_ptr<InsertStmt> insert;

@@ -90,11 +90,13 @@ std::string DeparseTableRef(const TableRef& ref, const DeparseOptions& opts) {
 std::string DeparseExpr(const Expr& e, const DeparseOptions& opts) {
   switch (e.kind) {
     case ExprKind::kConst:
+      if (opts.normalize) return "?";
       return e.value.ToSqlLiteral();
     case ExprKind::kColumnRef:
       if (!e.table.empty()) return e.table + "." + e.column;
       return e.column;
     case ExprKind::kParam: {
+      if (opts.normalize) return "?";
       if (opts.params != nullptr &&
           e.param_index < static_cast<int>(opts.params->size())) {
         return (*opts.params)[static_cast<size_t>(e.param_index)]
@@ -206,6 +208,13 @@ std::string DeparseSelect(const SelectStmt& s, const DeparseOptions& opts) {
 
 std::string DeparseStatement(const Statement& stmt,
                              const DeparseOptions& opts) {
+  if (stmt.is_explain) {
+    Statement inner = stmt;
+    inner.is_explain = false;
+    inner.is_analyze = false;
+    return std::string("EXPLAIN ") + (stmt.is_analyze ? "ANALYZE " : "") +
+           DeparseStatement(inner, opts);
+  }
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
       return DeparseSelect(*stmt.select, opts);

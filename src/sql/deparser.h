@@ -20,6 +20,9 @@ struct DeparseOptions {
   const std::map<std::string, std::string>* table_map = nullptr;
   /// If set, $n parameters are substituted with these values as literals.
   const std::vector<Datum>* params = nullptr;
+  /// Render every constant (and parameter) as '?', producing the normalized
+  /// statement shape used as the citus_stat_statements key.
+  bool normalize = false;
 };
 
 std::string DeparseExpr(const Expr& e, const DeparseOptions& opts = {});

@@ -117,6 +117,11 @@ class Parser {
   Result<Statement> ParseStatementInner() {
     if (CurIsKeyword("explain")) {
       Advance();
+      bool analyze = false;
+      if (CurIsKeyword("analyze")) {
+        Advance();
+        analyze = true;
+      }
       CITUSX_ASSIGN_OR_RETURN(Statement inner, ParseStatementInner());
       if (inner.kind != Statement::Kind::kSelect &&
           inner.kind != Statement::Kind::kInsert &&
@@ -125,6 +130,7 @@ class Parser {
         return Status::NotSupported("EXPLAIN supports SELECT/DML only");
       }
       inner.is_explain = true;
+      inner.is_analyze = analyze;
       return inner;
     }
     Statement stmt;

@@ -10,6 +10,8 @@ int64_t BufferPool::EvictIfNeeded() {
     if (victim.dirty) writes++;
     map_.erase(victim.block);
     lru_.pop_back();
+    evictions_++;
+    if (evictions_metric_ != nullptr) evictions_metric_->Inc();
   }
   return writes;
 }
@@ -18,11 +20,13 @@ bool BufferPool::Access(BlockId block, bool dirty) {
   auto it = map_.find(block);
   if (it != map_.end()) {
     hits_++;
+    if (hits_metric_ != nullptr) hits_metric_->Inc();
     it->second->dirty = it->second->dirty || dirty;
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
   misses_++;
+  if (misses_metric_ != nullptr) misses_metric_->Inc();
   int64_t writes = EvictIfNeeded();
   lru_.push_front(Entry{block, dirty});
   map_[block] = lru_.begin();

@@ -11,6 +11,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "sim/resources.h"
 #include "sim/simulation.h"
 
@@ -59,7 +60,15 @@ class BufferPool {
   int64_t resident_pages() const { return static_cast<int64_t>(lru_.size()); }
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  int64_t evictions() const { return evictions_; }
   int64_t page_bytes() const { return page_bytes_; }
+
+  /// Mirror hit/miss/eviction counts into a metrics registry.
+  void BindMetrics(obs::Metrics* metrics) {
+    hits_metric_ = metrics->counter("bufferpool.hits");
+    misses_metric_ = metrics->counter("bufferpool.misses");
+    evictions_metric_ = metrics->counter("bufferpool.evictions");
+  }
 
  private:
   struct Entry {
@@ -80,6 +89,10 @@ class BufferPool {
   std::unordered_map<BlockId, LruList::iterator, BlockIdHash> map_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 };
 
 }  // namespace citusx::storage

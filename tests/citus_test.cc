@@ -779,6 +779,53 @@ TEST_F(CitusTest, AddNodeAndRebalanceGrowsCluster) {
   });
 }
 
+TEST_F(CitusTest, CitusRemoveNode) {
+  // worker3 exists in the directory but starts unregistered (spare).
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.spare_workers = 1;
+  deploy_ = std::make_unique<Deployment>(&sim_, options);
+  RunSim([&] {
+    auto conn = deploy_->Connect();
+    ASSERT_TRUE(conn.ok());
+    MustQuery(**conn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**conn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**conn, "CREATE TABLE ref (id bigint PRIMARY KEY, v text)");
+    MustQuery(**conn, "SELECT create_reference_table('ref')");
+    MustQuery(**conn, "INSERT INTO ref VALUES (1, 'a')");
+    // Unregistered / unknown nodes cannot be removed.
+    EXPECT_FALSE((*conn)->Query("SELECT citus_remove_node('worker3')").ok());
+    EXPECT_FALSE((*conn)->Query("SELECT citus_remove_node('nosuch')").ok());
+    // Register worker3; it gets a reference-table replica but no kv shards
+    // (shards only move on rebalance).
+    MustQuery(**conn, "SELECT citus_add_node('worker3')");
+    EXPECT_EQ(deploy_->metadata().workers.size(), 3u);
+    const CitusTable* ref = deploy_->metadata().Find("ref");
+    int replicas_on_w3 = 0;
+    for (const auto& r : ref->replica_nodes) replicas_on_w3 += r == "worker3";
+    EXPECT_EQ(replicas_on_w3, 1);
+    // A worker that still holds shard placements is refused.
+    auto refused = (*conn)->Query("SELECT citus_remove_node('worker1')");
+    EXPECT_FALSE(refused.ok());
+    EXPECT_NE(refused.status().ToString().find("placements"),
+              std::string::npos);
+    EXPECT_EQ(deploy_->metadata().workers.size(), 3u);
+    // worker3 holds no kv placements: removal succeeds and drops its
+    // reference replica.
+    MustQuery(**conn, "SELECT citus_remove_node('worker3')");
+    EXPECT_EQ(deploy_->metadata().workers.size(), 2u);
+    for (const auto& r : ref->replica_nodes) EXPECT_NE(r, "worker3");
+    engine::Node* w3 = deploy_->cluster().directory().Find("worker3");
+    ASSERT_NE(w3, nullptr);
+    EXPECT_EQ(w3->catalog().Find(ref->ShardName(ref->shards[0].shard_id)),
+              nullptr);
+    // The cluster still works after the removal.
+    MustQuery(**conn, "INSERT INTO kv VALUES (1, 'x')");
+    QueryResult r = MustQuery(**conn, "SELECT count(*) FROM kv");
+    EXPECT_EQ(r.rows[0][0].int_value(), 1);
+  });
+}
+
 TEST_F(CitusTest, ExistingRowsMigrateOnDistribution) {
   MakeDeployment(2);
   RunSim([&] {

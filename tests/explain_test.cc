@@ -22,8 +22,14 @@ class ExplainTest : public ::testing::Test {
     sim_.Spawn("test", std::move(fn));
     sim_.Run();
   }
-  void TearDown() override { sim_.Shutdown(); }
+  // Shut the simulation down before the deployment is destroyed: backend
+  // processes unwinding during Shutdown still release connection gates.
+  void TearDown() override {
+    sim_.Shutdown();
+    deploy_.reset();
+  }
   sim::Simulation sim_;
+  std::unique_ptr<citus::Deployment> deploy_;
 };
 
 TEST_F(ExplainTest, LocalPlans) {
@@ -64,7 +70,8 @@ TEST_F(ExplainTest, LocalPlans) {
 TEST_F(ExplainTest, DistributedTiers) {
   citus::DeploymentOptions options;
   options.num_workers = 2;
-  citus::Deployment deploy(&sim_, options);
+  deploy_ = std::make_unique<citus::Deployment>(&sim_, options);
+  citus::Deployment& deploy = *deploy_;
   RunSim([&] {
     auto conn = deploy.Connect();
     ASSERT_TRUE(conn.ok());

@@ -136,5 +136,82 @@ TEST_F(MaintenanceTest, RestorePointWaitsForInFlight2pc) {
   EXPECT_GT(commit_done, 0);
 }
 
+// Regression: a two-node cross-shard update cycle must be resolved by the
+// distributed deadlock detector with exactly one victim; the survivor's
+// commit must go through and the victim's work must be rolled back.
+TEST_F(MaintenanceTest, DistributedDeadlockAbortsExactlyOneVictim) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.citus.deadlock_poll_interval = 500 * sim::kMillisecond;
+  deploy_ = std::make_unique<Deployment>(&sim_, options);
+  auto conn_a = std::make_shared<std::unique_ptr<net::Connection>>();
+  auto conn_b = std::make_shared<std::unique_ptr<net::Connection>>();
+  int64_t k1 = 0, k2 = 0;
+  sim_.Spawn("setup", [&] {
+    auto conn = deploy_->Connect();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(
+        (*conn)->Query("CREATE TABLE d (key bigint PRIMARY KEY, v bigint)").ok());
+    ASSERT_TRUE(
+        (*conn)->Query("SELECT create_distributed_table('d', 'key')").ok());
+    const CitusTable* ct = deploy_->metadata().Find("d");
+    auto worker_of = [&](int64_t key) {
+      int idx = ct->ShardIndexForHash(sql::Datum::Int8(key).PartitionHash());
+      return ct->shards[static_cast<size_t>(idx)].placement;
+    };
+    k1 = 1;
+    while (worker_of(k1) != "worker1") k1++;
+    k2 = k1 + 1;
+    while (worker_of(k2) != "worker2") k2++;
+    ASSERT_TRUE((*conn)
+                    ->Query(StrFormat("INSERT INTO d VALUES (%lld, 0), (%lld, 0)",
+                                      static_cast<long long>(k1),
+                                      static_cast<long long>(k2)))
+                    .ok());
+    *conn_a = std::move(*deploy_->Connect());
+    *conn_b = std::move(*deploy_->Connect());
+  });
+  sim_.Run();
+  // outcome: 1 = committed, 2 = aborted as deadlock victim
+  int outcome_a = 0, outcome_b = 0;
+  auto txn = [&](net::Connection& conn, int64_t first, int64_t second,
+                 int* outcome) {
+    ASSERT_TRUE(conn.Query("BEGIN").ok());
+    auto u1 = conn.Query(StrFormat("UPDATE d SET v = v + 1 WHERE key = %lld",
+                                   static_cast<long long>(first)));
+    ASSERT_TRUE(u1.ok()) << u1.status().ToString();
+    sim_.WaitFor(50 * sim::kMillisecond);
+    auto u2 = conn.Query(StrFormat("UPDATE d SET v = v + 1 WHERE key = %lld",
+                                   static_cast<long long>(second)));
+    if (u2.ok()) {
+      ASSERT_TRUE(conn.Query("COMMIT").ok());
+      *outcome = 1;
+    } else {
+      EXPECT_TRUE(u2.status().IsDeadlock() || u2.status().IsAborted())
+          << u2.status().ToString();
+      auto rb = conn.Query("ROLLBACK");
+      *outcome = 2;
+    }
+  };
+  sim_.Spawn("txn_a", [&] { txn(**conn_a, k1, k2, &outcome_a); });
+  sim_.Spawn("txn_b", [&] { txn(**conn_b, k2, k1, &outcome_b); });
+  sim_.Run();
+  // Exactly one victim; the other transaction committed.
+  EXPECT_EQ((outcome_a == 1 ? 1 : 0) + (outcome_b == 1 ? 1 : 0), 1)
+      << "outcomes: " << outcome_a << " " << outcome_b;
+  EXPECT_EQ((outcome_a == 2 ? 1 : 0) + (outcome_b == 2 ? 1 : 0), 1);
+  CitusExtension* ext = deploy_->extension(deploy_->coordinator());
+  EXPECT_GE(ext->deadlocks_detected, 1);
+  // The survivor updated both rows; the victim's work was rolled back.
+  sim_.Spawn("verify", [&] {
+    auto conn = deploy_->Connect();
+    ASSERT_TRUE(conn.ok());
+    auto r = (*conn)->Query("SELECT sum(v) FROM d");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  });
+  sim_.Run();
+}
+
 }  // namespace
 }  // namespace citusx::citus
