@@ -1,0 +1,226 @@
+// Ablation: the distributed plan cache (PREPARE/EXECUTE hot path).
+//
+// A CRUD application issues the same single-shard statements millions of
+// times with different parameters. Without the plan cache every EXECUTE
+// re-runs the fast-path planner on the coordinator and the local planner on
+// the worker; with it, the coordinator re-binds parameters into the cached
+// distributed plan (plan_cached_bind) and the worker executes a server-side
+// prepared statement. This bench runs the same 90/10 read/update key-value
+// workload with the cache on and off and reports the throughput ratio.
+//
+// The cost model uses a rack-local RTT so that planning CPU — the thing the
+// cache removes — is visible next to the network; with the default 500 us
+// same-region RTT the network dominates both modes and hides the effect.
+//
+//   abl_plancache [--quick] [--json=<path>] [--no-plan-cache]
+//
+// --no-plan-cache runs only the ablated configuration (for manual A/B runs);
+// by default both configurations run and the speedup is checked (>= 2x).
+#include <cstring>
+
+#include "bench_common.h"
+#include "common/str.h"
+
+using namespace citusx;
+using namespace citusx::bench;
+
+namespace {
+
+struct ModeResult {
+  double tps = 0;
+  LatencyTriple latency;
+  int64_t errors = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+Status LoadRows(citus::Deployment& deploy, int64_t rows) {
+  auto conn_r = deploy.Connect();
+  if (!conn_r.ok()) return conn_r.status();
+  net::Connection& conn = **conn_r;
+  CITUSX_RETURN_IF_ERROR(
+      conn.Query("CREATE TABLE kv (key bigint PRIMARY KEY, v text)").status());
+  CITUSX_RETURN_IF_ERROR(
+      conn.Query("SELECT create_distributed_table('kv', 'key')").status());
+  std::vector<std::vector<std::string>> batch;
+  for (int64_t i = 0; i < rows; i++) {
+    batch.push_back({std::to_string(i), StrFormat("value-%lld",
+                                                  static_cast<long long>(i))});
+    if (batch.size() == 5000) {
+      CITUSX_RETURN_IF_ERROR(conn.CopyIn("kv", {}, std::move(batch)).status());
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    CITUSX_RETURN_IF_ERROR(conn.CopyIn("kv", {}, std::move(batch)).status());
+  }
+  return Status::OK();
+}
+
+// `update_pct` percent of operations are single-shard UPDATEs; the rest are
+// single-shard SELECTs. The read-only workload (update_pct = 0, pgbench -S
+// style) is the headline number: it isolates planning cost, which is what
+// the cache removes. Writes add a WAL commit flush that is identical in
+// both modes and dilutes the ratio.
+ModeResult RunMode(bool plan_cache, bool quick, int update_pct) {
+  sim::CostModel cost;
+  cost.net_rtt = 20 * sim::kMicrosecond;  // rack-local / unix-socket proxy
+  cost.buffer_pool_bytes = 256LL << 20;   // keep disk I/O out of the picture
+
+  sim::Simulation sim;
+  citus::DeploymentOptions options;
+  options.num_workers = 2;
+  options.cost = cost;
+  options.citus.enable_plan_cache = plan_cache;
+  citus::Deployment deploy(&sim, options);
+
+  const int64_t rows = quick ? 2000 : 20000;
+  MustRun(sim, [&] { return LoadRows(deploy, rows); });
+
+  workload::DriverOptions dopts;
+  dopts.clients = quick ? 8 : 16;
+  dopts.warmup = (quick ? 200 : 1000) * sim::kMillisecond;
+  dopts.duration = (quick ? 1 : 3) * sim::kSecond;
+  dopts.sleep_between = 0;  // closed loop: throughput == service rate
+
+  std::vector<char> prepared(static_cast<size_t>(dopts.clients), 0);
+  workload::DriverResult r = workload::RunDriver(
+      &sim, &deploy.cluster().directory(), dopts,
+      [&](net::Connection& conn, int client_id, Rng& rng) -> Status {
+        if (!prepared[static_cast<size_t>(client_id)]) {
+          CITUSX_RETURN_IF_ERROR(
+              conn.Query("PREPARE sel (bigint) AS "
+                         "SELECT v FROM kv WHERE key = $1")
+                  .status());
+          CITUSX_RETURN_IF_ERROR(
+              conn.Query("PREPARE upd (bigint, text) AS "
+                         "UPDATE kv SET v = $2 WHERE key = $1")
+                  .status());
+          prepared[static_cast<size_t>(client_id)] = 1;
+        }
+        int64_t key = static_cast<int64_t>(rng.Next() % rows);
+        if (update_pct > 0 &&
+            static_cast<int>(rng.Next() % 100) < update_pct) {
+          return conn
+              .Query(StrFormat("EXECUTE upd (%lld, 'v-%lld')",
+                               static_cast<long long>(key),
+                               static_cast<long long>(rng.Next() % 1000)))
+              .status();
+        }
+        return conn
+            .Query(StrFormat("EXECUTE sel (%lld)",
+                             static_cast<long long>(key)))
+            .status();
+      });
+
+  ModeResult out;
+  out.tps = r.PerSecond();
+  out.latency = Percentiles(r.latency);
+  out.errors = r.errors;
+  const obs::Metrics& m = deploy.coordinator()->metrics();
+  out.hits = m.CounterValue("citus.plancache.hit");
+  out.misses = m.CounterValue("citus.plancache.miss");
+  sim.Shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --no-plan-cache is ours; strip it before the shared parser (which exits
+  // on unknown flags).
+  bool only_ablated = false;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--no-plan-cache") == 0) {
+      only_ablated = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchArgs args = ParseBenchArgs(static_cast<int>(rest.size()), rest.data());
+
+  PrintHeader("Ablation: distributed plan cache on the CRUD hot path",
+              "design choice from DESIGN.md; cf. paper §3.5 planner tiers");
+  std::printf("%-16s %-12s %12s %10s %10s %10s %12s %12s\n", "workload",
+              "plan cache", "tps", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+              "cache hits", "misses");
+
+  BenchReport report("abl_plancache");
+  auto add_row = [&](const char* workload, bool cached, const ModeResult& m) {
+    std::printf("%-16s %-12s %12.0f %10.3f %10.3f %10.3f %12lld %12lld\n",
+                workload, cached ? "on" : "off", m.tps, m.latency.p50_ms,
+                m.latency.p95_ms, m.latency.p99_ms,
+                static_cast<long long>(m.hits),
+                static_cast<long long>(m.misses));
+    report.AddResult(
+        {{"workload", sql::Json::MakeString(workload)},
+         {"plan_cache", sql::Json::MakeBool(cached)},
+         {"tps", sql::Json::MakeNumber(m.tps)},
+         {"p50_ms", sql::Json::MakeNumber(m.latency.p50_ms)},
+         {"p95_ms", sql::Json::MakeNumber(m.latency.p95_ms)},
+         {"p99_ms", sql::Json::MakeNumber(m.latency.p99_ms)},
+         {"errors", sql::Json::MakeNumber(static_cast<double>(m.errors))},
+         {"plancache_hits",
+          sql::Json::MakeNumber(static_cast<double>(m.hits))},
+         {"plancache_misses",
+          sql::Json::MakeNumber(static_cast<double>(m.misses))}});
+  };
+  auto check_errors = [](const char* label, const ModeResult& m) {
+    if (m.errors > 0) {
+      std::fprintf(stderr, "FAIL: %lld errors in the %s run\n",
+                   static_cast<long long>(m.errors), label);
+      std::exit(1);
+    }
+  };
+
+  // Headline: single-shard reads (pgbench -S style) — planning dominates.
+  ModeResult off = RunMode(/*plan_cache=*/false, args.quick, /*update_pct=*/0);
+  add_row("reads", false, off);
+  check_errors("no-plan-cache reads", off);
+  if (only_ablated) {
+    report.WriteTo(args.json_path);
+    return 0;
+  }
+  ModeResult on = RunMode(/*plan_cache=*/true, args.quick, /*update_pct=*/0);
+  add_row("reads", true, on);
+  check_errors("plan-cache reads", on);
+
+  // Context: 90/10 read/update mix. The per-op WAL commit flush on writes is
+  // identical in both modes, so the ratio here is expected to be lower.
+  ModeResult moff =
+      RunMode(/*plan_cache=*/false, args.quick, /*update_pct=*/10);
+  add_row("mixed-90/10", false, moff);
+  check_errors("no-plan-cache mixed", moff);
+  ModeResult mon = RunMode(/*plan_cache=*/true, args.quick, /*update_pct=*/10);
+  add_row("mixed-90/10", true, mon);
+  check_errors("plan-cache mixed", mon);
+
+  double speedup = off.tps > 0 ? on.tps / off.tps : 0;
+  double mixed_speedup = moff.tps > 0 ? mon.tps / moff.tps : 0;
+  std::printf("\nSpeedup (cached / uncached): reads %.2fx, mixed %.2fx\n",
+              speedup, mixed_speedup);
+  report.AddResult({{"speedup", sql::Json::MakeNumber(speedup)},
+                    {"mixed_speedup", sql::Json::MakeNumber(mixed_speedup)}});
+  if (!report.WriteTo(args.json_path)) return 1;
+
+  if (on.hits == 0 || on.misses == 0) {
+    std::fprintf(stderr, "FAIL: plan cache not exercised (hits=%lld "
+                 "misses=%lld)\n", static_cast<long long>(on.hits),
+                 static_cast<long long>(on.misses));
+    return 1;
+  }
+  if (off.hits != 0) {
+    std::fprintf(stderr, "FAIL: ablated run reported cache hits (%lld)\n",
+                 static_cast<long long>(off.hits));
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: expected >= 2x single-shard read throughput "
+                 "with the plan cache, got %.2fx\n", speedup);
+    return 1;
+  }
+  std::printf("PASS: plan cache delivers %.2fx on the single-shard read "
+              "path (%.2fx with 10%% updates).\n", speedup, mixed_speedup);
+  return 0;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Single entry point for CI and local verification:
+#   tier 1: release build + full ctest suite
+#   tier 2: AddressSanitizer build + full ctest suite
+#   bench smoke: fig9 (2PC invariant) and abl_plancache (>= 2x plan-cache
+#                speedup), both with JSON reports the binaries self-check
+#
+# Usage: scripts/verify.sh [--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIER1_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --tier1-only) TIER1_ONLY=1 ;;
+    *) echo "unknown argument: $arg (expected --tier1-only)" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier 1: release build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$TIER1_ONLY" == "1" ]]; then
+  echo "OK (tier 1 only)"
+  exit 0
+fi
+
+echo "==> tier 2: AddressSanitizer build + ctest"
+cmake -B build-asan -S . -DCITUSX_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$(nproc)"
+(cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+echo "==> bench smoke: fig9 (2PC) + abl_plancache (plan cache)"
+./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
+./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
+
+echo "OK"

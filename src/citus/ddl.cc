@@ -66,6 +66,7 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
         any_citus |= metadata.Find(t) != nullptr;
       }
       if (!any_citus) return std::optional<engine::QueryResult>();
+      metadata.BumpGeneration();
       AdaptiveExecutor executor(ext);
       for (const auto& t : stmt.truncate->tables) {
         CitusTable* table = metadata.Find(t);
@@ -93,6 +94,9 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
   }
   CitusTable* table = metadata.Find(table_name);
   if (table == nullptr) return std::optional<engine::QueryResult>();
+
+  // Any DDL on a distributed table invalidates cached distributed plans.
+  metadata.BumpGeneration();
 
   AdaptiveExecutor executor(ext);
   switch (stmt.kind) {

@@ -60,13 +60,29 @@ Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
     if (task.shard_group >= 0) {
       tracer->SetAttr(span, "shard_group", std::to_string(task.shard_group));
     }
-    if (!task.sql.empty()) tracer->SetAttr(span, "sql", task.sql);
+    const std::string& span_sql =
+        task.prepare_name.empty() ? task.sql : task.execute_sql;
+    if (!span_sql.empty()) tracer->SetAttr(span, "sql", span_sql);
     wc->conn->SetTraceContext(obs::FormatTraceContext(trace, span));
   }
-  Result<engine::QueryResult> r =
-      task.is_copy ? wc->conn->CopyIn(task.copy_table, task.copy_columns,
-                                      std::move(task.copy_rows))
-                   : wc->conn->Query(task.sql);
+  Result<engine::QueryResult> r = [&]() -> Result<engine::QueryResult> {
+    if (task.is_copy) {
+      return wc->conn->CopyIn(task.copy_table, task.copy_columns,
+                              std::move(task.copy_rows));
+    }
+    if (!task.prepare_name.empty()) {
+      if (wc->prepared_stmts.count(task.prepare_name) == 0) {
+        // First use on this connection: PREPARE piggybacks on the EXECUTE's
+        // round trip (extended protocol batching).
+        Result<engine::QueryResult> batch =
+            wc->conn->QueryBatch({task.prepare_sql, task.execute_sql});
+        if (batch.ok()) wc->prepared_stmts.insert(task.prepare_name);
+        return batch;
+      }
+      return wc->conn->Query(task.execute_sql);
+    }
+    return wc->conn->Query(task.sql);
+  }();
   if (span != 0) {
     wc->conn->SetTraceContext("");
     if (r.ok()) {

@@ -25,6 +25,13 @@ struct Task {
   std::string copy_table;
   std::vector<std::string> copy_columns;
   std::vector<std::vector<std::string>> copy_rows;
+  /// Plan-cache execution via a worker-side prepared statement: when
+  /// `prepare_name` is set, the executor sends `prepare_sql` once per
+  /// connection (batched with the first EXECUTE in one round trip), then
+  /// runs `execute_sql`, letting the worker skip re-parse and re-plan.
+  std::string prepare_name;
+  std::string prepare_sql;   // PREPARE <name> AS <shard query with $n>
+  std::string execute_sql;   // EXECUTE <name>(<param literals>)
 };
 
 class AdaptiveExecutor {

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "citus/plancache.h"
 #include "citus/planner.h"
 
 namespace citusx::citus {
@@ -48,6 +49,9 @@ CitusExtension::CitusExtension(engine::Node* node,
   metric_router = m.counter("citus.planner.router");
   metric_pushdown = m.counter("citus.planner.pushdown");
   metric_join_order = m.counter("citus.planner.join_order");
+  metric_plancache_hit = m.counter("citus.plancache.hit");
+  metric_plancache_miss = m.counter("citus.plancache.miss");
+  metric_plancache_invalidation = m.counter("citus.plancache.invalidation");
 }
 
 CitusExtension* CitusExtension::Install(

@@ -23,6 +23,8 @@ namespace citusx::citus {
 
 class CitusExtension;
 
+struct CachedDistPlan;
+
 /// One cached worker connection with its transaction bookkeeping.
 struct WorkerConnection {
   std::unique_ptr<net::Connection> conn;
@@ -33,6 +35,10 @@ struct WorkerConnection {
   /// (colocation_id, shard_index) groups touched in the current transaction;
   /// subsequent accesses to the same group must reuse this connection.
   std::set<std::pair<int, int>> groups;
+  /// Names of worker-side prepared statements already created on this
+  /// connection (the plan cache PREPAREs each shard query once per
+  /// connection, then re-EXECUTEs it).
+  std::set<std::string> prepared_stmts;
 };
 
 /// Per-session extension state, hung off Session::extension_state.
@@ -42,6 +48,9 @@ struct CitusSessionState {
   /// Distributed transaction id for the open transaction (assigned lazily).
   std::string dist_txn_id;
   CitusExtension* extension = nullptr;
+  /// Distributed plan cache, keyed by normalized statement shape
+  /// (plancache.cc). Entries are dropped when the metadata generation moves.
+  std::map<std::string, std::shared_ptr<CachedDistPlan>> plan_cache;
 
   ~CitusSessionState();
 };
@@ -65,6 +74,9 @@ struct CitusConfig {
   sim::Time slow_start_interval = 10 * sim::kMillisecond;
   /// Disable slow start entirely (ablation).
   bool enable_slow_start = true;
+  /// Per-session distributed plan cache + worker-side prepared statements
+  /// (ablation: abl_plancache --no-plan-cache).
+  bool enable_plan_cache = true;
   /// Maintenance daemon intervals.
   sim::Time deadlock_poll_interval = 2 * sim::kSecond;
   sim::Time recovery_poll_interval = 30 * sim::kSecond;
@@ -144,6 +156,9 @@ class CitusExtension {
   obs::Counter* metric_router = nullptr;         // citus.planner.router
   obs::Counter* metric_pushdown = nullptr;       // citus.planner.pushdown
   obs::Counter* metric_join_order = nullptr;     // citus.planner.join_order
+  obs::Counter* metric_plancache_hit = nullptr;  // citus.plancache.hit
+  obs::Counter* metric_plancache_miss = nullptr;          // citus.plancache.miss
+  obs::Counter* metric_plancache_invalidation = nullptr;  // citus.plancache.invalidation
 
   // ---- citus_stat_statements backing store ----
   void RecordStatement(const std::string& normalized, const std::string& tier,

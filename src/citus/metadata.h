@@ -55,14 +55,23 @@ struct CitusTable {
                      static_cast<unsigned long long>(shard_id));
   }
 
-  /// Index of the shard covering `hash`, or -1.
+  /// Index of the shard covering `hash`, or -1. Binary search over the
+  /// min_hash-sorted intervals: find the last shard with min_hash <= hash,
+  /// then confirm its max_hash covers it (ranges may have gaps).
   int ShardIndexForHash(int32_t hash) const {
-    for (size_t i = 0; i < shards.size(); i++) {
-      if (hash >= shards[i].min_hash && hash <= shards[i].max_hash) {
-        return static_cast<int>(i);
+    size_t lo = 0;
+    size_t hi = shards.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (shards[mid].min_hash <= hash) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
       }
     }
-    return -1;
+    if (lo == 0) return -1;
+    const ShardInterval& s = shards[lo - 1];
+    return hash <= s.max_hash ? static_cast<int>(lo - 1) : -1;
   }
 };
 
@@ -95,10 +104,21 @@ class CitusMetadata {
   }
 
   CitusTable* Add(CitusTable table) {
+    BumpGeneration();
     return &(tables_[table.name] = std::move(table));
   }
 
-  void Remove(const std::string& name) { tables_.erase(name); }
+  void Remove(const std::string& name) {
+    BumpGeneration();
+    tables_.erase(name);
+  }
+
+  /// Metadata generation, bumped by every change that can invalidate a
+  /// cached distributed plan (DDL, create_distributed_table, shard moves,
+  /// node add/remove). Plan-cache entries snapshot it and are discarded
+  /// when it no longer matches.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { generation_++; }
 
   const std::map<std::string, CitusTable>& tables() const { return tables_; }
   std::map<std::string, CitusTable>& mutable_tables() { return tables_; }
@@ -138,6 +158,7 @@ class CitusMetadata {
   std::map<std::string, CitusTable> tables_;
   uint64_t next_shard_id_ = 102008;
   int next_colocation_id_ = 1;
+  uint64_t generation_ = 0;
 };
 
 /// Evenly divide the int32 hash space into `count` intervals.

@@ -1,0 +1,92 @@
+// Distributed plan cache: per-session caching of single-shard CRUD plans
+// (the PREPARE/EXECUTE hot path of §3.5's fast-path planner).
+//
+// Statements are normalized by lifting constants into parameters; the
+// normalized deparse is the cache key. A cached entry skips table analysis
+// and planning on later executions: the shard is re-pruned with a binary
+// search over the hash ranges, parameter values are spliced into a deparsed
+// SQL template, and — when the parameter list is dense — the shard query is
+// sent as a worker-side prepared statement (PREPARE once per connection,
+// then EXECUTE), so the worker also skips re-parse and re-plan.
+//
+// Entries snapshot the metadata generation (metadata.h) and are discarded
+// when it moves: DDL, create_distributed_table, shard moves/rebalances, and
+// node add/remove all bump it.
+#ifndef CITUSX_CITUS_PLANCACHE_H_
+#define CITUSX_CITUS_PLANCACHE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "citus/extension.h"
+#include "sql/ast.h"
+
+namespace citusx::citus {
+
+struct TableAnalysis;  // planner.h
+
+/// One cached distributed plan for a normalized single-shard CRUD shape.
+struct CachedDistPlan {
+  std::string key;          // normalized statement shape (cache map key)
+  uint64_t generation = 0;  // metadata generation at build time
+  int64_t plan_id = 0;      // globally unique; names worker prepared stmts
+  std::string table;        // the distributed table
+  sql::TypeId dist_col_type = sql::TypeId::kNull;
+  int colocation_id = 0;
+  int dist_param = -1;  // bound-param index carrying the dist-column value
+  bool is_write = false;
+  sql::Statement::Kind kind = sql::Statement::Kind::kSelect;
+  int base_params = 0;  // $n params of the original statement
+  int num_params = 0;   // base_params + lifted constants
+
+  /// Deparsed SQL template: chunks.size() == slots.size() + 1. Rendering
+  /// interleaves chunks with slot values: slot -1 is the pruned shard name,
+  /// slot >= 0 the bound parameter at that index (as a literal or $n).
+  bool has_template = false;
+  std::vector<std::string> chunks;
+  std::vector<int> slots;
+
+  /// Worker-side prepared statements are usable (parameter indices form a
+  /// dense 0..num_params-1 range, so EXECUTE can bind them positionally).
+  bool use_prepared = false;
+  /// PREPARE statement per shard index, built lazily on first touch.
+  std::map<int, std::string> prepare_sql_by_shard;
+
+  /// The normalized statement, for the rare fallback when the template
+  /// could not be built (sentinel bytes occurring in a literal).
+  std::shared_ptr<const sql::Statement> normalized;
+
+  std::string PrepareName(int shard_index) const;
+};
+
+/// Attached to engine::PreparedStatement::generic_plan: the shared cache
+/// entry plus the constants lifted from this statement's body (the entry may
+/// be shared with shapes whose constants differ).
+struct PreparedPlanRef {
+  std::shared_ptr<CachedDistPlan> plan;
+  std::vector<sql::Datum> lifted;
+};
+
+/// Try to execute `stmt` through the session's distributed plan cache.
+/// Returns nullopt when the statement shape is not cacheable (the caller
+/// falls through to the regular planner tiers); otherwise executes it —
+/// building and caching the plan on a miss, re-binding on a hit — and
+/// returns the result. Maintains the citus.plancache.{hit,miss,invalidation}
+/// counters and the fast-path tier counters.
+Result<std::optional<engine::QueryResult>> TryPlanCacheExecution(
+    CitusExtension* ext, engine::Session& session, const sql::Statement& stmt,
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis);
+
+/// True when a generation-valid cache entry exists for `stmt`'s normalized
+/// shape in this session (used to tag EXPLAIN output with "(cached)").
+bool PlanCacheContains(CitusExtension* ext, engine::Session& session,
+                       const sql::Statement& stmt,
+                       const std::vector<sql::Datum>& params,
+                       const TableAnalysis& analysis);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_PLANCACHE_H_

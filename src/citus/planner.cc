@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "citus/plancache.h"
 #include "engine/planner.h"
 #include "obs/trace.h"
 #include "sql/deparser.h"
@@ -10,10 +11,10 @@
 
 namespace citusx::citus {
 
-int64_t DistributedPlanner::fast_path_count = 0;
-int64_t DistributedPlanner::router_count = 0;
-int64_t DistributedPlanner::pushdown_count = 0;
-int64_t DistributedPlanner::join_order_count = 0;
+std::atomic<int64_t> DistributedPlanner::fast_path_count{0};
+std::atomic<int64_t> DistributedPlanner::router_count{0};
+std::atomic<int64_t> DistributedPlanner::pushdown_count{0};
+std::atomic<int64_t> DistributedPlanner::join_order_count{0};
 
 namespace {
 
@@ -483,17 +484,22 @@ Status RewriteForMaster(ExprPtr& e, const std::vector<std::string>& group_repr,
   return Status::OK();
 }
 
-void CollectAggCalls(const ExprPtr& e, std::vector<ExprPtr>* out) {
+// Collects distinct aggregate calls; `reprs` caches each collected call's
+// deparsed text (parallel to `out`) so every expression is deparsed once
+// instead of re-deparsing all existing entries per candidate.
+void CollectAggCalls(const ExprPtr& e, std::vector<ExprPtr>* out,
+                     std::vector<std::string>* reprs) {
   if (e == nullptr) return;
   if (e->kind == ExprKind::kAgg) {
     std::string repr = sql::DeparseExpr(*e);
-    for (const auto& existing : *out) {
-      if (sql::DeparseExpr(*existing) == repr) return;
+    for (const auto& existing : *reprs) {
+      if (existing == repr) return;
     }
     out->push_back(e);
+    reprs->push_back(std::move(repr));
     return;
   }
-  for (const auto& a : e->args) CollectAggCalls(a, out);
+  for (const auto& a : e->args) CollectAggCalls(a, out, reprs);
 }
 
 Result<AggSplit> SplitAggregates(const SelectStmt& original) {
@@ -514,9 +520,10 @@ Result<AggSplit> SplitAggregates(const SelectStmt& original) {
   }
   // Collect distinct aggregate calls from targets, having, order by.
   std::vector<ExprPtr> aggs;
-  for (const auto& t : sel.targets) CollectAggCalls(t.expr, &aggs);
-  CollectAggCalls(sel.having, &aggs);
-  for (const auto& o : sel.order_by) CollectAggCalls(o.expr, &aggs);
+  std::vector<std::string> agg_repr;
+  for (const auto& t : sel.targets) CollectAggCalls(t.expr, &aggs, &agg_repr);
+  CollectAggCalls(sel.having, &aggs, &agg_repr);
+  for (const auto& o : sel.order_by) CollectAggCalls(o.expr, &aggs, &agg_repr);
   for (const auto& a : aggs) {
     if (a->agg_distinct) {
       return Status::NotSupported(
@@ -537,11 +544,9 @@ Result<AggSplit> SplitAggregates(const SelectStmt& original) {
         sql::SelectItem{groups[i]->Clone(), StrFormat("g%zu", i)});
     group_repr.push_back(sql::DeparseExpr(*groups[i]));
   }
-  std::vector<std::string> agg_repr;
   std::vector<int> agg_first_col;
   int next_col = static_cast<int>(groups.size());
   for (const auto& a : aggs) {
-    agg_repr.push_back(sql::DeparseExpr(*a));
     agg_first_col.push_back(next_col);
     if (a->func_name == "avg") {
       // Partial: sum(x), count(x).
@@ -625,7 +630,11 @@ namespace {
 // executing anything.
 Result<engine::QueryResult> ExplainDistributed(
     CitusExtension* ext, const sql::Statement& stmt,
-    const std::vector<sql::Datum>& params, const TableAnalysis& analysis) {
+    const std::vector<sql::Datum>& params, const TableAnalysis& analysis,
+    bool plan_cached) {
+  // "(cached)" marks shapes the session's distributed plan cache would serve
+  // without re-planning (mirrors EXPLAIN's "(cached plan)" note).
+  const char* cached_tag = plan_cached ? " (cached)" : "";
   std::vector<std::string> lines;
   auto add = [&](const std::string& s) { lines.push_back(s); };
   sql::DeparseOptions opts;
@@ -656,8 +665,8 @@ Result<engine::QueryResult> ExplainDistributed(
                   sel.group_by.empty();
       auto map = ShardGroupTableMap(analysis, shard_index);
       opts.table_map = &map;
-      add(StrFormat("Custom Scan (Citus %s)  Task Count: 1",
-                    fast ? "Fast Path Router" : "Router"));
+      add(StrFormat("Custom Scan (Citus %s)  Task Count: 1%s",
+                    fast ? "Fast Path Router" : "Router", cached_tag));
       add("  Task: " + sql::DeparseSelect(sel, opts));
       add("  Placement: " +
           analysis.distributed[0]
@@ -698,8 +707,8 @@ Result<engine::QueryResult> ExplainDistributed(
                     t->replica_nodes.size()));
     } else if (t != nullptr) {
       add(StrFormat("Custom Scan (Citus Adaptive)  Modify on %s (up to %zu "
-                    "shard tasks)",
-                    table_name.c_str(), t->shards.size()));
+                    "shard tasks)%s",
+                    table_name.c_str(), t->shards.size(), cached_tag));
     }
   }
   engine::QueryResult out;
@@ -764,13 +773,25 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::PlanAndExecute(
                               ExplainAnalyze(session, stmt, params, analysis));
       return std::optional<engine::QueryResult>(std::move(r));
     }
-    CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
-                            ExplainDistributed(ext_, stmt, params, analysis));
+    CITUSX_ASSIGN_OR_RETURN(
+        engine::QueryResult r,
+        ExplainDistributed(
+            ext_, stmt, params, analysis,
+            PlanCacheContains(ext_, session, stmt, params, analysis)));
     return std::optional<engine::QueryResult>(std::move(r));
   }
   TierSnapshot before = SnapshotTiers(ext_);
   sim::Time started = ext_->node()->sim()->now();
   Result<engine::QueryResult> result = [&]() -> Result<engine::QueryResult> {
+    // Single-shard CRUD statements go through the distributed plan cache:
+    // a hit skips planning (binary-search pruning + template splice), a
+    // miss plans once and caches; other shapes fall through to the tiers.
+    if (ext_->config().enable_plan_cache) {
+      CITUSX_ASSIGN_OR_RETURN(
+          std::optional<engine::QueryResult> cached,
+          TryPlanCacheExecution(ext_, session, stmt, params, analysis));
+      if (cached.has_value()) return std::move(*cached);
+    }
     switch (stmt.kind) {
       case sql::Statement::Kind::kSelect:
         return ExecuteSelect(session, *stmt.select, params, analysis);

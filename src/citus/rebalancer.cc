@@ -85,10 +85,13 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
                               table->ShardName(shard_id) + " FOR UPDATE"));
     (void)r;
   }
-  // Metadata flip: new queries now go to the target placement.
+  // Metadata flip: new queries now go to the target placement. Bump the
+  // metadata generation so cached distributed plans stop routing to the
+  // old placement.
   for (CitusTable* table : tables) {
     table->shards[static_cast<size_t>(shard_index)].placement = target;
   }
+  ext_->metadata().BumpGeneration();
   CITUSX_ASSIGN_OR_RETURN(engine::QueryResult rc,
                           src_conn->conn->Query("COMMIT"));
   (void)rc;

@@ -4,6 +4,7 @@
 // BY / aggregation works against them.
 #include <set>
 
+#include "citus/plancache.h"
 #include "citus/planner.h"
 #include "engine/planner.h"
 
@@ -13,6 +14,7 @@ namespace {
 
 constexpr const char* kStatStatements = "citus_stat_statements";
 constexpr const char* kStatActivity = "citus_stat_activity";
+constexpr const char* kStatPlanCache = "citus_stat_plan_cache";
 
 void CollectNames(const sql::TableRef& ref, std::set<std::string>* out) {
   switch (ref.kind) {
@@ -66,6 +68,34 @@ engine::TempRelation BuildStatActivity(CitusExtension* ext) {
   return rel;
 }
 
+// One row per cached plan in this session, plus node-wide counters.
+engine::TempRelation BuildStatPlanCache(CitusExtension* ext,
+                                        engine::Session& session) {
+  engine::TempRelation rel;
+  rel.column_names = {"query",      "generation", "hits",
+                      "misses",     "invalidations"};
+  rel.column_types = {sql::TypeId::kText, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8};
+  int64_t hits = ext->metric_plancache_hit->value();
+  int64_t misses = ext->metric_plancache_miss->value();
+  int64_t invalidations = ext->metric_plancache_invalidation->value();
+  for (const auto& [key, plan] : ext->SessionState(session).plan_cache) {
+    rel.rows.push_back(
+        {sql::Datum::Text(key),
+         sql::Datum::Int8(static_cast<int64_t>(plan->generation)),
+         sql::Datum::Int8(hits), sql::Datum::Int8(misses),
+         sql::Datum::Int8(invalidations)});
+  }
+  if (rel.rows.empty()) {
+    // Keep the node-wide counters visible even with an empty session cache.
+    rel.rows.push_back({sql::Datum::Text(""), sql::Datum::Null(),
+                        sql::Datum::Int8(hits), sql::Datum::Int8(misses),
+                        sql::Datum::Int8(invalidations)});
+  }
+  return rel;
+}
+
 }  // namespace
 
 Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
@@ -79,11 +109,13 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   for (const auto& f : stmt.select->from) CollectNames(*f, &names);
   bool wants_statements = names.count(kStatStatements) > 0;
   bool wants_activity = names.count(kStatActivity) > 0;
-  if (!wants_statements && !wants_activity) {
+  bool wants_plan_cache = names.count(kStatPlanCache) > 0;
+  if (!wants_statements && !wants_activity && !wants_plan_cache) {
     return std::optional<engine::QueryResult>();
   }
   engine::TempRelation statements;
   engine::TempRelation activity;
+  engine::TempRelation plan_cache;
   std::map<std::string, const engine::TempRelation*> temps;
   if (wants_statements) {
     statements = BuildStatStatements(ext);
@@ -92,6 +124,10 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   if (wants_activity) {
     activity = BuildStatActivity(ext);
     temps[kStatActivity] = &activity;
+  }
+  if (wants_plan_cache) {
+    plan_cache = BuildStatPlanCache(ext, session);
+    temps[kStatPlanCache] = &plan_cache;
   }
   engine::PlannerInput input;
   input.catalog = &session.node()->catalog();

@@ -105,7 +105,11 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     return Status::OK();
   }
   // Two-phase commit across all writers (§3.7.2); prepares go out in
-  // parallel over the open connections.
+  // parallel over the open connections. The coordinator's local commit
+  // record is the 2PC decision record (recovery commits/aborts prepared
+  // worker txns based on it), so its flush cannot be skipped even when the
+  // local transaction wrote nothing itself.
+  session.MarkTxnWrite();
   std::map<WorkerConnection*, std::string> gids;
   int seq = 0;
   for (WorkerConnection* wc : writers) {

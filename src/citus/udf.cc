@@ -342,6 +342,7 @@ void CitusExtension::RegisterUdfs() {
       }
     }
     ext->metadata().workers.push_back(name);
+    ext->metadata().BumpGeneration();
     // Sync schema to the new node: shells for every Citus table, plus a
     // replica of every reference table. Shards move only when the user
     // rebalances (§3.4).
@@ -455,6 +456,7 @@ void CitusExtension::RegisterUdfs() {
         ++it;
       }
     }
+    ext->metadata().BumpGeneration();
     return sql::Datum::Null();
   };
 

@@ -984,7 +984,10 @@ Result<QueryResult> ExplainStatement(const sql::Statement& stmt,
 
 Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
                                   const PlannerInput& input, ExecContext& ctx) {
-  CITUSX_RETURN_IF_ERROR(ctx.ChargeCpu(ctx.cost->plan_local));
+  // A generic (cached) plan for a prepared statement skips the full planner
+  // cost; only parameter binding is charged (PostgreSQL plancache analog).
+  CITUSX_RETURN_IF_ERROR(ctx.ChargeCpu(
+      input.cached_plan ? ctx.cost->plan_cached_bind : ctx.cost->plan_local));
   CITUSX_ASSIGN_OR_RETURN(ExecNodePtr plan, PlanSelect(stmt, input));
   return CollectRows(*plan, ctx);
 }

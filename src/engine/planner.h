@@ -20,6 +20,9 @@ struct PlannerInput {
   const std::map<std::string, const TempRelation*>* temp_relations = nullptr;
   /// Parameters, for evaluating LIMIT/index key constants at plan time.
   const std::vector<sql::Datum>* params = nullptr;
+  /// Executing a previously planned prepared statement (generic plan): the
+  /// planner charges plan_cached_bind instead of the full plan_local cost.
+  bool cached_plan = false;
 };
 
 /// Plan a SELECT into an executable tree.

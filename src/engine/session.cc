@@ -1,9 +1,84 @@
 #include "engine/session.h"
 
 #include "common/str.h"
+#include "sql/deparser.h"
 #include "sql/parser.h"
 
 namespace citusx::engine {
+
+namespace {
+
+void VisitExprParams(const sql::ExprPtr& e, int* max_param);
+
+void VisitSelectParams(const sql::SelectStmt& s, int* max_param);
+
+void VisitTableRefParams(const sql::TableRefPtr& ref, int* max_param) {
+  if (ref == nullptr) return;
+  switch (ref->kind) {
+    case sql::TableRef::Kind::kTable:
+      return;
+    case sql::TableRef::Kind::kSubquery:
+      if (ref->subquery) VisitSelectParams(*ref->subquery, max_param);
+      return;
+    case sql::TableRef::Kind::kJoin:
+      VisitTableRefParams(ref->left, max_param);
+      VisitTableRefParams(ref->right, max_param);
+      VisitExprParams(ref->on, max_param);
+      return;
+  }
+}
+
+void VisitExprParams(const sql::ExprPtr& e, int* max_param) {
+  if (e == nullptr) return;
+  sql::WalkExpr(e, [max_param](const sql::Expr& x) {
+    if (x.kind == sql::ExprKind::kParam && x.param_index + 1 > *max_param) {
+      *max_param = x.param_index + 1;
+    }
+  });
+}
+
+void VisitSelectParams(const sql::SelectStmt& s, int* max_param) {
+  for (const auto& t : s.targets) VisitExprParams(t.expr, max_param);
+  for (const auto& f : s.from) VisitTableRefParams(f, max_param);
+  VisitExprParams(s.where, max_param);
+  for (const auto& g : s.group_by) VisitExprParams(g, max_param);
+  VisitExprParams(s.having, max_param);
+  for (const auto& o : s.order_by) VisitExprParams(o.expr, max_param);
+  VisitExprParams(s.limit, max_param);
+  VisitExprParams(s.offset, max_param);
+}
+
+/// Highest $n referenced anywhere in the statement (1-based count).
+int MaxParamCount(const sql::Statement& stmt) {
+  int max_param = 0;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+      VisitSelectParams(*stmt.select, &max_param);
+      break;
+    case sql::Statement::Kind::kInsert:
+      for (const auto& row : stmt.insert->values) {
+        for (const auto& v : row) VisitExprParams(v, &max_param);
+      }
+      if (stmt.insert->select) {
+        VisitSelectParams(*stmt.insert->select, &max_param);
+      }
+      break;
+    case sql::Statement::Kind::kUpdate:
+      for (const auto& s : stmt.update->sets) {
+        VisitExprParams(s.second, &max_param);
+      }
+      VisitExprParams(stmt.update->where, &max_param);
+      break;
+    case sql::Statement::Kind::kDelete:
+      VisitExprParams(stmt.del->where, &max_param);
+      break;
+    default:
+      break;
+  }
+  return max_param;
+}
+
+}  // namespace
 
 Session::Session(Node* node) : node_(node), rng_(0xC1705) {}
 
@@ -56,12 +131,14 @@ Status Session::CommitTxn() {
       return st;
     }
   }
-  // Commit-record WAL flush (group-commit amortized).
-  if (!node_->WalFlush()) {
+  // Commit-record WAL flush (group-commit amortized). Read-only
+  // transactions have no commit record to make durable and skip it.
+  if (txn_wrote_ && !node_->WalFlush()) {
     AbortTxn();
     return Status::Cancelled("simulation stopping");
   }
-  if (!node_->cpu().Consume(node_->cost().cpu_commit)) {
+  if (!node_->cpu().Consume(txn_wrote_ ? node_->cost().cpu_commit
+                                       : node_->cost().cpu_commit_readonly)) {
     AbortTxn();
     return Status::Cancelled("simulation stopping");
   }
@@ -72,6 +149,7 @@ Status Session::CommitTxn() {
   txn_ = storage::kInvalidTxn;
   explicit_txn_ = false;
   txn_aborted_ = false;
+  txn_wrote_ = false;
   if (node_->hooks().post_commit) node_->hooks().post_commit(*this);
   return Status::OK();
 }
@@ -85,6 +163,7 @@ void Session::AbortTxn() {
   txn_ = storage::kInvalidTxn;
   explicit_txn_ = false;
   txn_aborted_ = false;
+  txn_wrote_ = false;
   if (node_->hooks().post_abort) node_->hooks().post_abort(*this);
 }
 
@@ -125,6 +204,7 @@ Result<QueryResult> Session::ExecuteTxnStmt(const sql::TxnStmt& stmt) {
       node_->UnregisterTxn(txn_);
       txn_ = storage::kInvalidTxn;
       explicit_txn_ = false;
+      txn_wrote_ = false;
       result.command_tag = "PREPARE TRANSACTION";
       return result;
     }
@@ -221,7 +301,100 @@ Result<QueryResult> Session::ExecuteParsed(
     r.command_tag = "SET";
     return r;
   }
+  if (stmt.kind == sql::Statement::Kind::kPrepare) {
+    return ExecutePrepare(*stmt.prepare);
+  }
+  if (stmt.kind == sql::Statement::Kind::kExecute) {
+    return ExecutePrepared(*stmt.execute, params);
+  }
+  if (stmt.kind == sql::Statement::Kind::kDeallocate) {
+    return ExecuteDeallocate(*stmt.deallocate);
+  }
   return DispatchStatement(stmt, params);
+}
+
+Result<QueryResult> Session::ExecutePrepare(const sql::PrepareStmt& stmt) {
+  auto existing = prepared_.find(stmt.name);
+  if (existing != prepared_.end()) {
+    // Re-preparing the exact same statement is a no-op (a client that lost
+    // track of an in-flight batch may retry); a different body errors.
+    if (sql::DeparseStatement(*stmt.body) ==
+        sql::DeparseStatement(*existing->second.body)) {
+      QueryResult r;
+      r.command_tag = "PREPARE";
+      return r;
+    }
+    return Status::AlreadyExists("prepared statement \"" + stmt.name +
+                                 "\" already exists");
+  }
+  PreparedStatement ps;
+  ps.body = std::make_shared<const sql::Statement>(*stmt.body);
+  ps.param_types = stmt.param_types;
+  ps.num_params = MaxParamCount(*stmt.body);
+  if (static_cast<int>(ps.param_types.size()) > ps.num_params) {
+    ps.num_params = static_cast<int>(ps.param_types.size());
+  }
+  prepared_.emplace(stmt.name, std::move(ps));
+  QueryResult r;
+  r.command_tag = "PREPARE";
+  return r;
+}
+
+Result<QueryResult> Session::ExecutePrepared(
+    const sql::ExecuteStmt& stmt, const std::vector<sql::Datum>& params) {
+  auto it = prepared_.find(stmt.name);
+  if (it == prepared_.end()) {
+    return Status::NotFound("prepared statement \"" + stmt.name +
+                            "\" does not exist");
+  }
+  PreparedStatement& ps = it->second;
+  if (static_cast<int>(stmt.args.size()) != ps.num_params) {
+    return Status::InvalidArgument(StrFormat(
+        "wrong number of parameters for prepared statement \"%s\": expected "
+        "%d, got %zu",
+        stmt.name.c_str(), ps.num_params, stmt.args.size()));
+  }
+  // Evaluate the EXECUTE arguments (outer $n params remain visible) and
+  // coerce them to the declared parameter types.
+  std::vector<sql::Datum> bound;
+  bound.reserve(stmt.args.size());
+  sql::EvalContext ec;
+  ec.params = &params;
+  ec.rng = &rng_;
+  for (size_t i = 0; i < stmt.args.size(); i++) {
+    CITUSX_ASSIGN_OR_RETURN(sql::Datum v, sql::Eval(*stmt.args[i], ec));
+    if (i < ps.param_types.size() && !v.is_null() &&
+        v.type() != ps.param_types[i]) {
+      CITUSX_ASSIGN_OR_RETURN(v, v.CastTo(ps.param_types[i]));
+    }
+    bound.push_back(std::move(v));
+  }
+  // Expose the entry so the planner hook can attach its generic plan, and
+  // restore the previous one on exit (EXECUTE may nest via procedures).
+  PreparedStatement* saved = active_prepared_;
+  active_prepared_ = &ps;
+  Result<QueryResult> result = DispatchStatement(*ps.body, bound);
+  active_prepared_ = saved;
+  if (result.ok()) {
+    ps.executions++;
+    ps.local_plan_cached = true;
+  }
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteDeallocate(const sql::DeallocateStmt& stmt) {
+  QueryResult r;
+  if (stmt.name.empty()) {
+    prepared_.clear();
+    r.command_tag = "DEALLOCATE ALL";
+    return r;
+  }
+  if (prepared_.erase(stmt.name) == 0) {
+    return Status::NotFound("prepared statement \"" + stmt.name +
+                            "\" does not exist");
+  }
+  r.command_tag = "DEALLOCATE";
+  return r;
 }
 
 Result<QueryResult> Session::DispatchStatement(
@@ -236,6 +409,8 @@ Result<QueryResult> Session::DispatchStatement(
         auto it = udfs.find(sel.targets[0].expr->func_name);
         if (it != udfs.end()) {
           return RunInTxn([&]() -> Result<QueryResult> {
+            // UDFs may mutate catalogs/metadata; treat the txn as a writer.
+            txn_wrote_ = true;
             // Evaluate arguments.
             std::vector<sql::Datum> args;
             sql::EvalContext ec;
@@ -268,10 +443,18 @@ Result<QueryResult> Session::DispatchStatement(
                                                               params));
           if (handled.has_value()) return std::move(*handled);
         }
+        // Local DML writes WAL (marked after the planner hook: statements
+        // the extension routes to workers leave the local txn read-only).
+        if (stmt.kind != sql::Statement::Kind::kSelect &&
+            !(stmt.is_explain && !stmt.is_analyze)) {
+          txn_wrote_ = true;
+        }
         ExecContext ctx = MakeExecContext(&params);
         PlannerInput input;
         input.catalog = &node_->catalog();
         input.params = &params;
+        input.cached_plan =
+            active_prepared_ != nullptr && active_prepared_->local_plan_cached;
         if (stmt.is_explain && stmt.is_analyze) {
           // EXPLAIN ANALYZE: execute for real, then append the measured
           // virtual time and row count to the plan description.
@@ -316,6 +499,7 @@ Result<QueryResult> Session::DispatchStatement(
     }
     case sql::Statement::Kind::kCall: {
       return RunInTxn([&]() -> Result<QueryResult> {
+        txn_wrote_ = true;  // procedures run DML
         std::vector<sql::Datum> args;
         sql::EvalContext ec;
         ec.params = &params;
@@ -348,6 +532,7 @@ Result<QueryResult> Session::DispatchStatement(
 
 Result<QueryResult> Session::ExecuteUtility(const sql::Statement& stmt) {
   return RunInTxn([&]() -> Result<QueryResult> {
+    txn_wrote_ = true;  // DDL writes catalogs
     if (node_->hooks().utility_hook) {
       CITUSX_ASSIGN_OR_RETURN(std::optional<QueryResult> handled,
                               node_->hooks().utility_hook(*this, stmt));
@@ -500,6 +685,7 @@ Result<QueryResult> Session::CopyIn(
                               node_->hooks().copy_hook(*this, stmt, rows));
       if (handled.has_value()) return std::move(*handled);
     }
+    txn_wrote_ = true;  // local COPY writes heap + WAL
     CITUSX_ASSIGN_OR_RETURN(TableInfo * info, node_->catalog().Get(table));
     const sql::Schema& schema = info->schema();
     std::vector<int> positions;

@@ -15,6 +15,21 @@
 
 namespace citusx::engine {
 
+/// A session-scoped prepared statement (PREPARE name AS ...). Mirrors
+/// PostgreSQL's plancache entry: the parsed body plus a generic-plan slot
+/// where the planner hook (the Citus extension) attaches its cached state.
+struct PreparedStatement {
+  std::shared_ptr<const sql::Statement> body;
+  std::vector<sql::TypeId> param_types;  // declared types; may be empty
+  int num_params = 0;                    // highest $n referenced in the body
+  int64_t executions = 0;
+  /// Opaque cached plan owned by the planner hook; reset by DEALLOCATE.
+  std::shared_ptr<void> generic_plan;
+  /// After the first successful execution the local planner treats the body
+  /// as a generic plan and charges plan_cached_bind instead of plan_local.
+  bool local_plan_cached = false;
+};
+
 class Session {
  public:
   explicit Session(Node* node);
@@ -44,6 +59,13 @@ class Session {
   bool txn_open() const { return txn_ != storage::kInvalidTxn; }
   TxnId current_txn() const { return txn_; }
 
+  /// Mark the current transaction as having written WAL. Read-only commits
+  /// skip the commit-record flush (PostgreSQL: RecordTransactionCommit does
+  /// not XLogFlush when the transaction wrote nothing); extensions that make
+  /// the local commit durable for their own protocol (e.g. the 2PC decision
+  /// record) call this from their pre-commit hook.
+  void MarkTxnWrite() { txn_wrote_ = true; }
+
   /// Start a transaction if none is open (implicit otherwise).
   Status EnsureTxn();
 
@@ -59,10 +81,23 @@ class Session {
   /// connection/transaction bookkeeping here). Destroyed with the session.
   std::shared_ptr<void> extension_state;
 
+  /// The prepared statement currently being EXECUTEd, if any. The planner
+  /// hook uses this to attach/reuse its generic plan across executions.
+  PreparedStatement* active_prepared() { return active_prepared_; }
+
+  /// The session's prepared statements, keyed by name (read-only view).
+  const std::map<std::string, PreparedStatement>& prepared_statements() const {
+    return prepared_;
+  }
+
   Rng& rng() { return rng_; }
 
  private:
   Result<QueryResult> ExecuteTxnStmt(const sql::TxnStmt& stmt);
+  Result<QueryResult> ExecutePrepare(const sql::PrepareStmt& stmt);
+  Result<QueryResult> ExecutePrepared(const sql::ExecuteStmt& stmt,
+                                      const std::vector<sql::Datum>& params);
+  Result<QueryResult> ExecuteDeallocate(const sql::DeallocateStmt& stmt);
   Result<QueryResult> ExecuteUtility(const sql::Statement& stmt);
   Result<QueryResult> DispatchStatement(const sql::Statement& stmt,
                                         const std::vector<sql::Datum>& params);
@@ -76,7 +111,10 @@ class Session {
   TxnId txn_ = storage::kInvalidTxn;
   bool explicit_txn_ = false;
   bool txn_aborted_ = false;
+  bool txn_wrote_ = false;
   std::map<std::string, std::string> vars_;
+  std::map<std::string, PreparedStatement> prepared_;
+  PreparedStatement* active_prepared_ = nullptr;
   Rng rng_;
 };
 

@@ -30,6 +30,9 @@ struct CostModel {
   Time plan_router = 60 * kMicrosecond;
   Time plan_pushdown = 200 * kMicrosecond;
   Time plan_join_order = 1 * kMillisecond;
+  Time plan_cached_bind = 2 * kMicrosecond;  // re-bind params into a cached
+                                             // (generic) plan: hashtable
+                                             // lookup + shard re-pruning
   Time executor_startup = 20 * kMicrosecond;
 
   Time cpu_per_row_scan = 100;              // evaluate visibility + fetch
@@ -51,6 +54,8 @@ struct CostModel {
   Time wal_flush = 400 * kMicrosecond;      // commit record fsync (group-commit
                                             // amortized on network disk)
   Time cpu_commit = 30 * kMicrosecond;
+  Time cpu_commit_readonly = 3 * kMicrosecond;  // no commit record: ProcArray
+                                                // exit + resource cleanup only
 
   // ---- maintenance ----
   Time deadlock_poll_interval = 2 * kSecond;      // paper §3.7.3

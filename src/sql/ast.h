@@ -248,6 +248,26 @@ struct CallStmt {
   std::vector<ExprPtr> args;
 };
 
+struct Statement;
+
+/// PREPARE name [(type, ...)] AS <select|insert|update|delete>.
+struct PrepareStmt {
+  std::string name;
+  std::vector<TypeId> param_types;  // declared types; may be empty
+  std::shared_ptr<Statement> body;
+};
+
+/// EXECUTE name [(arg, ...)].
+struct ExecuteStmt {
+  std::string name;
+  std::vector<ExprPtr> args;
+};
+
+/// DEALLOCATE name | DEALLOCATE ALL.
+struct DeallocateStmt {
+  std::string name;  // empty = ALL
+};
+
 /// A parsed SQL statement.
 struct Statement {
   enum class Kind {
@@ -263,6 +283,9 @@ struct Statement {
     kTxn,
     kSet,
     kCall,
+    kPrepare,     // PREPARE name AS <stmt>
+    kExecute,     // EXECUTE name(args)
+    kDeallocate,  // DEALLOCATE name
   };
   Kind kind;
 
@@ -283,6 +306,9 @@ struct Statement {
   std::shared_ptr<TxnStmt> txn;
   std::shared_ptr<SetStmt> set;
   std::shared_ptr<CallStmt> call;
+  std::shared_ptr<PrepareStmt> prepare;
+  std::shared_ptr<ExecuteStmt> execute;
+  std::shared_ptr<DeallocateStmt> deallocate;
 
   /// True for statements that modify data or schema.
   bool IsWrite() const {

@@ -96,6 +96,7 @@ std::string DeparseExpr(const Expr& e, const DeparseOptions& opts) {
       if (!e.table.empty()) return e.table + "." + e.column;
       return e.column;
     case ExprKind::kParam: {
+      if (opts.param_markers) return StrFormat("\x02%d\x02", e.param_index);
       if (opts.normalize) return "?";
       if (opts.params != nullptr &&
           e.param_index < static_cast<int>(opts.params->size())) {
@@ -341,6 +342,35 @@ std::string DeparseStatement(const Statement& stmt,
       }
       return out + ")";
     }
+    case Statement::Kind::kPrepare: {
+      const auto& p = *stmt.prepare;
+      std::string out = "PREPARE " + p.name;
+      if (!p.param_types.empty()) {
+        out += " (";
+        for (size_t i = 0; i < p.param_types.size(); i++) {
+          if (i > 0) out += ", ";
+          out += TypeName(p.param_types[i]);
+        }
+        out += ")";
+      }
+      return out + " AS " + DeparseStatement(*p.body, opts);
+    }
+    case Statement::Kind::kExecute: {
+      std::string out = "EXECUTE " + stmt.execute->name;
+      if (!stmt.execute->args.empty()) {
+        out += " (";
+        for (size_t i = 0; i < stmt.execute->args.size(); i++) {
+          if (i > 0) out += ", ";
+          out += DeparseExpr(*stmt.execute->args[i], opts);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    case Statement::Kind::kDeallocate:
+      return stmt.deallocate->name.empty()
+                 ? "DEALLOCATE ALL"
+                 : "DEALLOCATE " + stmt.deallocate->name;
   }
   return "";
 }

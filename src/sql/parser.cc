@@ -148,8 +148,17 @@ class Parser {
     if (AcceptKeyword("copy")) return ParseCopy();
     if (AcceptKeyword("call")) return ParseCall();
     if (AcceptKeyword("set")) return ParseSet();
+    if (CurIsKeyword("prepare")) {
+      // PREPARE TRANSACTION 'gid' is the 2PC statement; everything else is
+      // a prepared statement (PREPARE name [(types)] AS <stmt>).
+      if (Peek().text == "transaction") return ParseTxn();
+      Advance();
+      return ParsePrepare();
+    }
+    if (AcceptKeyword("execute")) return ParseExecute();
+    if (AcceptKeyword("deallocate")) return ParseDeallocate();
     if (CurIsKeyword("begin") || CurIsKeyword("commit") ||
-        CurIsKeyword("rollback") || CurIsKeyword("prepare")) {
+        CurIsKeyword("rollback")) {
       return ParseTxn();
     }
     return Error("unrecognized statement start: '" + Cur().text + "'");
@@ -629,6 +638,63 @@ class Parser {
       return stmt;
     }
     return Error("bad transaction statement");
+  }
+
+  // PREPARE name [(type, ...)] AS <select|insert|update|delete>.
+  // The leading PREPARE keyword has already been consumed.
+  Result<Statement> ParsePrepare() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kPrepare;
+    stmt.prepare = std::make_shared<PrepareStmt>();
+    CITUSX_ASSIGN_OR_RETURN(stmt.prepare->name, ExpectIdentifier());
+    if (AcceptOp("(")) {
+      for (;;) {
+        CITUSX_ASSIGN_OR_RETURN(TypeId t, ParseTypeName());
+        stmt.prepare->param_types.push_back(t);
+        if (!AcceptOp(",")) break;
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    CITUSX_RETURN_IF_ERROR(ExpectKeyword("as"));
+    CITUSX_ASSIGN_OR_RETURN(Statement body, ParseStatementInner());
+    if (body.kind != Statement::Kind::kSelect &&
+        body.kind != Statement::Kind::kInsert &&
+        body.kind != Statement::Kind::kUpdate &&
+        body.kind != Statement::Kind::kDelete) {
+      return Status::NotSupported("PREPARE supports SELECT/DML only");
+    }
+    stmt.prepare->body = std::make_shared<Statement>(std::move(body));
+    return stmt;
+  }
+
+  // EXECUTE name [(arg, ...)]. The EXECUTE keyword has been consumed.
+  Result<Statement> ParseExecute() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kExecute;
+    stmt.execute = std::make_shared<ExecuteStmt>();
+    CITUSX_ASSIGN_OR_RETURN(stmt.execute->name, ExpectIdentifier());
+    if (AcceptOp("(")) {
+      if (!CurIs(TokenType::kOperator, ")")) {
+        for (;;) {
+          CITUSX_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          stmt.execute->args.push_back(std::move(arg));
+          if (!AcceptOp(",")) break;
+        }
+      }
+      CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
+    }
+    return stmt;
+  }
+
+  // DEALLOCATE [PREPARE] name | DEALLOCATE ALL.
+  Result<Statement> ParseDeallocate() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDeallocate;
+    stmt.deallocate = std::make_shared<DeallocateStmt>();
+    AcceptKeyword("prepare");
+    if (AcceptKeyword("all")) return stmt;  // name stays empty
+    CITUSX_ASSIGN_OR_RETURN(stmt.deallocate->name, ExpectIdentifier());
+    return stmt;
   }
 
   Result<TypeId> ParseTypeName() {
