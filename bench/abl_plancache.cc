@@ -116,7 +116,7 @@ ModeResult RunMode(bool plan_cache, bool quick, int update_pct) {
   ModeResult out;
   out.tps = r.PerSecond();
   out.latency = Percentiles(r.latency);
-  out.errors = r.errors;
+  out.errors = r.fatal_errors;
   const obs::Metrics& m = deploy.coordinator()->metrics();
   out.hits = m.CounterValue("citus.plancache.hit");
   out.misses = m.CounterValue("citus.plancache.miss");

@@ -78,9 +78,11 @@ inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
 /// Common command line of every bench binary:
 ///   --json=<path>  dump the figure's results (+ metric snapshots) as JSON
 ///   --quick        scaled-down run for smoke tests / CI
+///   --seed=<n>     fault-injection / workload RNG seed (chaos benches)
 struct BenchArgs {
   std::string json_path;
   bool quick = false;
+  uint64_t seed = 42;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -89,11 +91,14 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     std::string a = argv[i];
     if (a.rfind("--json=", 0) == 0) {
       args.json_path = a.substr(7);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<uint64_t>(std::strtoull(a.c_str() + 7,
+                                                      nullptr, 10));
     } else if (a == "--quick") {
       args.quick = true;
     } else {
-      std::fprintf(stderr, "unknown argument: %s (expected --json=<path> or "
-                   "--quick)\n", a.c_str());
+      std::fprintf(stderr, "unknown argument: %s (expected --json=<path>, "
+                   "--seed=<n>, or --quick)\n", a.c_str());
       std::exit(2);
     }
   }

@@ -76,9 +76,9 @@ int main() {
                     all.PerSecond(), read_lat.p95_ms, update_lat.p95_ms);
         PrintLatencyTriple("reads", reads.latency);
         PrintLatencyTriple("updates", updates.latency);
-        if (all.errors > 0) {
+        if (all.fatal_errors > 0) {
           std::printf("  (%lld errors: %s)\n",
-                      static_cast<long long>(all.errors),
+                      static_cast<long long>(all.fatal_errors),
                       all.last_error.c_str());
         }
       }

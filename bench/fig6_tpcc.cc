@@ -74,9 +74,9 @@ int main() {
                   setup.name.c_str(), nopm, r.PerMinute(), lat.p50_ms,
                   lat.p95_ms, lat.p99_ms);
       std::fflush(stdout);
-      if (r.errors > 0) {
+      if (r.fatal_errors > 0) {
         std::printf("  (%lld errors: %s)\n",
-                    static_cast<long long>(r.errors), r.last_error.c_str());
+                    static_cast<long long>(r.fatal_errors), r.last_error.c_str());
       }
     });
   }

@@ -4,6 +4,10 @@
 #   tier 2: AddressSanitizer build + full ctest suite
 #   bench smoke: fig9 (2PC invariant) and abl_plancache (>= 2x plan-cache
 #                speedup), both with JSON reports the binaries self-check
+#   chaos smoke: chaos_ycsb --quick under a fixed seed against both the
+#                release and the ASan build — zero acked-commit losses,
+#                all prepared transactions resolved, post-recovery
+#                throughput within 20% of baseline (binary self-checks)
 #
 # Usage: scripts/verify.sh [--tier1-only]
 set -euo pipefail
@@ -36,5 +40,10 @@ cmake --build build-asan -j"$(nproc)"
 echo "==> bench smoke: fig9 (2PC) + abl_plancache (plan cache)"
 ./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
 ./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
+
+echo "==> chaos smoke: crash/restart schedule under a fixed seed (release + ASan)"
+./build/bench/chaos_ycsb --quick --seed=42 --json=build/BENCH_chaos_smoke.json
+./build-asan/bench/chaos_ycsb --quick --seed=42 \
+    --json=build-asan/BENCH_chaos_smoke.json
 
 echo "OK"

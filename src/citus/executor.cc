@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <set>
 
+#include "common/str.h"
 #include "obs/trace.h"
 #include "sim/channel.h"
 
@@ -21,6 +23,8 @@ struct RunState {
   std::vector<engine::QueryResult> owned_results;
   std::vector<engine::QueryResult>* results = nullptr;
   Status first_error;
+  /// Per-task outcome, for partial-failure reporting on multi-shard reads.
+  std::vector<Status> task_status;
   std::unique_ptr<sim::Channel<int>> done;
   bool ticker_active = true;
 
@@ -97,6 +101,87 @@ Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
   return Status::OK();
 }
 
+// Execute one task with the failure-hardening wrapper: broken pooled
+// connections are pruned and replaced, retryable-transient errors retry
+// with capped exponential backoff, and reads whose target node is down
+// fail over to the task's fallback replicas. `wc` is updated in place so
+// the caller keeps draining its queue on the replacement connection.
+// Connections carrying transaction state are never pruned: a transaction
+// of unknown fate must surface through the 2PC/abort machinery instead.
+Status ExecTaskResilient(RunState& st, WorkerConnection*& wc, Task& task) {
+  CitusExtension* ext = st.ext;
+  const CitusConfig& cfg = ext->config();
+  sim::Simulation* sim = ext->node()->sim();
+  int max_attempts = std::max(1, cfg.task_retry_attempts);
+  sim::Time backoff = cfg.task_retry_backoff;
+  std::string worker = task.worker;
+  size_t next_fallback = 0;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; attempt++) {
+    // Heal: replace a broken connection before dispatching on it.
+    if (wc != nullptr && !wc->conn->usable()) {
+      if (!wc->groups.empty() || wc->txn_open || wc->did_write ||
+          !wc->prepared_gid.empty()) {
+        return last.ok() ? Status::ConnectionLost(
+                               "connection to " + worker +
+                               " broke with transaction state pending")
+                         : last;
+      }
+      ext->PruneConnection(*st.session, wc);
+      wc = nullptr;
+    }
+    if (wc == nullptr) {
+      auto fresh = ext->GetConnection(*st.session, worker,
+                                      {task.colocation_id, task.shard_group});
+      if (fresh.ok()) {
+        wc = *fresh;
+      } else {
+        last = fresh.status();
+      }
+    }
+    if (wc != nullptr) {
+      bool was_stateless = wc->groups.empty() && !wc->txn_open &&
+                           !wc->did_write && wc->prepared_gid.empty();
+      last = ExecOneTask(st, wc, task);
+      if (last.ok()) return last;
+      if (was_stateless && !st.need_txn_block && !wc->conn->usable()) {
+        // The failed attempt's affinity bookkeeping is the only state on
+        // this handle; clear it so the heal step above may prune it.
+        wc->groups.clear();
+        wc->did_write = false;
+      }
+    }
+    ErrorClass ec = last.error_class();
+    // Inside a transaction block worker state is at stake: no silent
+    // retries, the error aborts the distributed transaction.
+    if (ec == ErrorClass::kFatal || st.need_txn_block) return last;
+    if (ec == ErrorClass::kNodeDown) {
+      ext->NoteWorkerUnavailable(worker);
+      // Reference-table reads fail over to a replica on another node.
+      if (task.is_write || task.is_copy ||
+          next_fallback >= task.fallback_workers.size()) {
+        return last;
+      }
+      worker = task.fallback_workers[next_fallback++];
+      ext->metric_failovers->Inc();
+      wc = nullptr;
+      continue;
+    }
+    // Retryable-transient: pool exhaustion retries for any task; dropped
+    // connections and statement timeouts only for reads (the write may
+    // already have been applied before the reply was lost).
+    bool can_retry =
+        !task.is_copy &&
+        (last.code() == StatusCode::kResourceExhausted ||
+         (!task.is_write && (last.IsConnectionLost() || last.IsTimeout())));
+    if (!can_retry || attempt == max_attempts) return last;
+    ext->metric_task_retries->Inc();
+    if (!sim->WaitFor(backoff)) return Status::Cancelled("simulation stopping");
+    backoff = std::min(backoff * 2, cfg.task_retry_max_backoff);
+  }
+  return last;
+}
+
 // A runner drains one connection's assigned queue, then the general queue.
 void RunnerLoop(RunState& st, const std::string& worker,
                 WorkerConnection* wc) {
@@ -113,7 +198,10 @@ void RunnerLoop(RunState& st, const std::string& worker,
     } else {
       break;
     }
-    Status s = ExecOneTask(st, wc, *task);
+    Status s = ExecTaskResilient(st, wc, *task);
+    if (!st.task_status.empty()) {
+      st.task_status[static_cast<size_t>(task->index)] = s;
+    }
     if (!s.ok() && st.first_error.ok()) st.first_error = s;
     st.done->Send(1);
   }
@@ -134,16 +222,19 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
   // Single-task fast path: one round trip on the affine/cached connection.
   if (tasks.size() == 1) {
     Task& t = tasks[0];
-    CITUSX_ASSIGN_OR_RETURN(
-        WorkerConnection * wc,
-        ext_->GetConnection(session, t.worker,
-                            {t.colocation_id, t.shard_group}));
     RunState st;
     st.session = &session;
     st.ext = ext_;
+    st.sim = ext_->node()->sim();
     st.need_txn_block = need_txn_block;
     st.results = &results;
-    CITUSX_RETURN_IF_ERROR(ExecOneTask(st, wc, t));
+    // Acquisition failures flow into the retry/failover wrapper too (a
+    // downed worker must not fail queries that can heal or fail over).
+    WorkerConnection* wc = nullptr;
+    auto got = ext_->GetConnection(session, t.worker,
+                                   {t.colocation_id, t.shard_group});
+    if (got.ok()) wc = *got;
+    CITUSX_RETURN_IF_ERROR(ExecTaskResilient(st, wc, t));
     return results;
   }
 
@@ -156,6 +247,7 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
   st.need_txn_block = need_txn_block;
   st.owned_results.resize(tasks.size());
   st.results = &st.owned_results;  // heap-owned: safe across cancellation
+  st.task_status.assign(tasks.size(), Status::OK());
   st.done = std::make_unique<sim::Channel<int>>(sim);
   sim::Channel<int>& done = *st.done;
 
@@ -193,8 +285,11 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
   };
 
   // Acquire the initial general-queue connections before spawning any
-  // runner, so an acquisition failure can return before stack state is
-  // shared with running processes.
+  // runner. An acquisition failure (worker down, pool exhausted) does NOT
+  // fail the query here: the worker still gets a runner with no connection,
+  // and each of its tasks goes through the retry/failover wrapper — which
+  // may heal, fail over, or record a per-task error for partial-failure
+  // reporting.
   std::vector<std::pair<std::string, WorkerConnection*>> initial;
   for (auto& [worker, q] : st.queues) {
     bool has_assigned_runner = false;
@@ -202,10 +297,8 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
       has_assigned_runner = has_assigned_runner || !queue.empty();
     }
     if (!q.general.empty() && !has_assigned_runner) {
-      CITUSX_ASSIGN_OR_RETURN(
-          WorkerConnection * wc,
-          ext_->GetConnection(session, worker, {0, -1}));
-      initial.emplace_back(worker, wc);
+      auto got = ext_->GetConnection(session, worker, {0, -1});
+      initial.emplace_back(worker, got.ok() ? *got : nullptr);
     }
   }
   // Start one runner per connection with assigned tasks, plus one connection
@@ -285,7 +378,36 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
     grow(allowance_now());
   }
   st.ticker_active = false;
-  if (!st.first_error.ok()) return st.first_error;
+  if (!st.first_error.ok()) {
+    int failed = 0;
+    std::string failed_shards;
+    for (const auto& t : tasks) {
+      const Status& s = st.task_status[static_cast<size_t>(t.index)];
+      if (s.ok()) continue;
+      failed++;
+      if (!failed_shards.empty()) failed_shards += ", ";
+      failed_shards += t.worker + "/group" + std::to_string(t.shard_group);
+    }
+    // A pool-growth connect failure with every task completed is not a
+    // query failure (the primary connections carried the work).
+    if (failed == 0) return std::move(st.owned_results);
+    // Read-only multi-shard queries degrade gracefully: when only some
+    // shards failed, report exactly which ones instead of an opaque error,
+    // so callers can distinguish a partial outage from a dead cluster.
+    bool all_reads = true;
+    for (const auto& t : tasks) {
+      all_reads = all_reads && !t.is_write && !t.is_copy;
+    }
+    if (all_reads && failed < total) {
+      ext_->metric_partial_failures->Inc();
+      return Status::Unavailable(StrFormat(
+          "partial query failure: %d of %d shard tasks failed (%s); first "
+          "error: %s",
+          failed, total, failed_shards.c_str(),
+          st.first_error.message().c_str()));
+    }
+    return st.first_error;
+  }
   return std::move(st.owned_results);
 }
 

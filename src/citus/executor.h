@@ -32,6 +32,9 @@ struct Task {
   std::string prepare_name;
   std::string prepare_sql;   // PREPARE <name> AS <shard query with $n>
   std::string execute_sql;   // EXECUTE <name>(<param literals>)
+  /// Replica nodes this task may fail over to when `worker` is down
+  /// (reference-table reads: every replica holds the same placement).
+  std::vector<std::string> fallback_workers;
 };
 
 class AdaptiveExecutor {

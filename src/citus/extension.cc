@@ -52,6 +52,12 @@ CitusExtension::CitusExtension(engine::Node* node,
   metric_plancache_hit = m.counter("citus.plancache.hit");
   metric_plancache_miss = m.counter("citus.plancache.miss");
   metric_plancache_invalidation = m.counter("citus.plancache.invalidation");
+  metric_task_retries = m.counter("citus.failures.retries");
+  metric_failovers = m.counter("citus.failures.failovers");
+  metric_pruned = m.counter("citus.failures.pruned_connections");
+  metric_partial_failures = m.counter("citus.failures.partial_failures");
+  metric_node_down = m.counter("citus.failures.node_down_invalidations");
+  metric_recovered = m.counter("citus.2pc.recovered");
 }
 
 CitusExtension* CitusExtension::Install(
@@ -130,6 +136,9 @@ void CitusExtension::StartMaintenanceDaemon() {
             auto session = node.OpenSession();
             auto r = ext->RecoverTwoPhaseCommits(*session);
             (void)r;
+            if (ext->pending_cleanup_count() > 0) {
+              ext->RunDeferredCleanup(*session);
+            }
           }
         }
       });
@@ -158,6 +167,15 @@ void CitusExtension::OnConnectionClosed(const std::string& worker) {
   if (it != outgoing_.end() && it->second > 0) it->second--;
 }
 
+namespace {
+// A connection with no transaction state can be discarded without losing
+// track of an in-flight transaction's fate.
+bool IsStateless(const WorkerConnection& wc) {
+  return wc.groups.empty() && !wc.txn_open && !wc.did_write &&
+         wc.prepared_gid.empty();
+}
+}  // namespace
+
 Result<WorkerConnection*> CitusExtension::GetConnection(
     engine::Session& session, const std::string& worker,
     std::pair<int, int> group, bool prefer_idle_only) {
@@ -170,6 +188,23 @@ Result<WorkerConnection*> CitusExtension::GetConnection(
       if (wc->groups.count(group) > 0) return wc.get();
     }
   }
+  // Prune broken stateless connections (dead backends from a crashed
+  // worker); the pool re-grows below or through slow start.
+  for (auto it = conns.begin(); it != conns.end();) {
+    if (!(*it)->conn->usable() && IsStateless(**it)) {
+      (*it)->conn->Close();
+      OnConnectionClosed(worker);
+      metric_pruned->Inc();
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& wc : conns) {
+    if (wc->conn->usable()) return wc.get();
+  }
+  // Only broken-but-stateful connections remain: the caller must observe
+  // the breakage through them (abort path owns the cleanup).
   if (!conns.empty()) return conns.front().get();
   // Open the session's primary connection to this worker.
   if (outgoing_connections(worker) >= config_.max_shared_pool_size) {
@@ -178,6 +213,10 @@ Result<WorkerConnection*> CitusExtension::GetConnection(
   }
   CITUSX_ASSIGN_OR_RETURN(std::unique_ptr<net::Connection> conn,
                           directory_->Connect(node_, worker));
+  NoteWorkerAvailable(worker);
+  if (config_.statement_timeout > 0) {
+    conn->SetStatementTimeout(config_.statement_timeout);
+  }
   outgoing_[worker]++;
   auto wc = std::make_unique<WorkerConnection>();
   wc->conn = std::move(conn);
@@ -199,6 +238,10 @@ Result<WorkerConnection*> CitusExtension::TryOpenExtraConnection(
     }
     return conn.status();
   }
+  NoteWorkerAvailable(worker);
+  if (config_.statement_timeout > 0) {
+    (*conn)->SetStatementTimeout(config_.statement_timeout);
+  }
   outgoing_[worker]++;
   CitusSessionState& state = SessionState(session);
   auto wc = std::make_unique<WorkerConnection>();
@@ -207,6 +250,78 @@ Result<WorkerConnection*> CitusExtension::TryOpenExtraConnection(
   WorkerConnection* ptr = wc.get();
   state.pool[worker].push_back(std::move(wc));
   return ptr;
+}
+
+void CitusExtension::PruneConnection(engine::Session& session,
+                                     WorkerConnection* wc) {
+  CitusSessionState& state = SessionState(session);
+  auto it = state.pool.find(wc->worker);
+  if (it == state.pool.end()) return;
+  auto& conns = it->second;
+  for (auto cit = conns.begin(); cit != conns.end(); ++cit) {
+    if (cit->get() == wc) {
+      wc->conn->Close();
+      OnConnectionClosed(wc->worker);
+      metric_pruned->Inc();
+      conns.erase(cit);  // destroys *wc
+      return;
+    }
+  }
+}
+
+void CitusExtension::NoteWorkerUnavailable(const std::string& worker) {
+  engine::Node* node = directory_->Find(worker);
+  // Only mark the worker down when it actually is (a single dropped
+  // connection must not invalidate every cached plan).
+  if (node == nullptr || !node->is_down()) return;
+  if (!down_workers_.insert(worker).second) return;
+  metric_node_down->Inc();
+  // Cached distributed plans may route to the dead node; moving the
+  // metadata generation drops them lazily, exactly like a shard move.
+  metadata_->BumpGeneration();
+}
+
+void CitusExtension::NoteWorkerAvailable(const std::string& worker) {
+  down_workers_.erase(worker);
+}
+
+void CitusExtension::AddDeferredCleanup(const std::string& worker,
+                                        std::vector<std::string> tables) {
+  auto& pending = pending_cleanup_[worker];
+  pending.insert(pending.end(), tables.begin(), tables.end());
+}
+
+int CitusExtension::RunDeferredCleanup(engine::Session& session) {
+  int dropped = 0;
+  for (auto it = pending_cleanup_.begin(); it != pending_cleanup_.end();) {
+    const std::string& worker = it->first;
+    engine::Node* node = directory_->Find(worker);
+    if (node == nullptr || node->is_down()) {
+      ++it;
+      continue;  // still unreachable; retry next round
+    }
+    auto conn = directory_->Connect(node_, worker);
+    if (!conn.ok()) {
+      ++it;
+      continue;
+    }
+    std::vector<std::string> remaining;
+    for (const std::string& table : it->second) {
+      auto r = (*conn)->Query("DROP TABLE IF EXISTS " + table);
+      if (r.ok()) {
+        dropped++;
+      } else {
+        remaining.push_back(table);
+      }
+    }
+    if (remaining.empty()) {
+      it = pending_cleanup_.erase(it);
+    } else {
+      it->second = std::move(remaining);
+      ++it;
+    }
+  }
+  return dropped;
 }
 
 Status CitusExtension::EnsureWorkerTxn(engine::Session& session,

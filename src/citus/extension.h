@@ -6,6 +6,7 @@
 #ifndef CITUSX_CITUS_EXTENSION_H_
 #define CITUSX_CITUS_EXTENSION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -80,6 +81,21 @@ struct CitusConfig {
   /// Maintenance daemon intervals.
   sim::Time deadlock_poll_interval = 2 * sim::kSecond;
   sim::Time recovery_poll_interval = 30 * sim::kSecond;
+  /// Task retry policy (chaos hardening): transient failures retry with
+  /// capped exponential backoff on a fresh connection where safe.
+  int task_retry_attempts = 3;
+  sim::Time task_retry_backoff = 2 * sim::kMillisecond;
+  sim::Time task_retry_max_backoff = 50 * sim::kMillisecond;
+  /// Per-statement deadline on worker connections (0 = none). A round trip
+  /// exceeding it fails with Timeout and the connection is replaced.
+  sim::Time statement_timeout = 0;
+};
+
+/// 2PC phase boundaries where the fault hook fires (crash testing §3.7).
+enum class TwoPhasePoint {
+  kBeforePrepare,      // before any PREPARE TRANSACTION is sent
+  kAfterPrepare,       // workers prepared, commit record not yet written
+  kAfterCommitRecord,  // commit record durable, COMMIT PREPARED not yet sent
 };
 
 class CitusExtension {
@@ -125,6 +141,46 @@ class CitusExtension {
     return it == outgoing_.end() ? 0 : it->second;
   }
 
+  // ---- failure hardening ----
+
+  /// Close and remove a broken pooled connection (it is destroyed; the pool
+  /// re-grows through slow start). Must not be called on connections
+  /// carrying transaction state.
+  void PruneConnection(engine::Session& session, WorkerConnection* wc);
+
+  /// Record that `worker` was observed down. Bumps the metadata generation
+  /// (invalidating distributed plan caches that route to it) the first time.
+  void NoteWorkerUnavailable(const std::string& worker);
+  /// Clears the down marker after a successful reconnect.
+  void NoteWorkerAvailable(const std::string& worker);
+  bool IsWorkerMarkedDown(const std::string& worker) const {
+    return down_workers_.count(worker) > 0;
+  }
+
+  /// Remember shard tables to drop on `worker` once it is reachable again
+  /// (failed rebalance copies); the maintenance daemon retries them.
+  void AddDeferredCleanup(const std::string& worker,
+                          std::vector<std::string> tables);
+  /// Attempt all pending deferred cleanups; returns how many tables were
+  /// dropped.
+  int RunDeferredCleanup(engine::Session& session);
+  int pending_cleanup_count() const {
+    int n = 0;
+    for (const auto& [w, tables] : pending_cleanup_) {
+      n += static_cast<int>(tables.size());
+    }
+    return n;
+  }
+
+  /// Test/chaos hook fired at 2PC phase boundaries; a non-OK return models
+  /// the coordinator failing at that point (the commit path surfaces the
+  /// error without finishing the protocol).
+  std::function<Status(TwoPhasePoint)> twophase_fault_hook;
+  /// When set, the next PostCommit skips COMMIT PREPARED and forgets the
+  /// prepared gids (models the coordinator crashing right after its local
+  /// commit; the recovery daemon must finish the commit from the records).
+  bool suppress_post_commit_2pc_once = false;
+
   // ---- wired into session hooks (twophase.cc) ----
   Status PreCommit(engine::Session& session);
   void PostCommit(engine::Session& session);
@@ -159,6 +215,13 @@ class CitusExtension {
   obs::Counter* metric_plancache_hit = nullptr;  // citus.plancache.hit
   obs::Counter* metric_plancache_miss = nullptr;          // citus.plancache.miss
   obs::Counter* metric_plancache_invalidation = nullptr;  // citus.plancache.invalidation
+  // Failure-path counters (citus_stat_failures view).
+  obs::Counter* metric_task_retries = nullptr;      // citus.failures.retries
+  obs::Counter* metric_failovers = nullptr;         // citus.failures.failovers
+  obs::Counter* metric_pruned = nullptr;            // citus.failures.pruned_connections
+  obs::Counter* metric_partial_failures = nullptr;  // citus.failures.partial_failures
+  obs::Counter* metric_node_down = nullptr;         // citus.failures.node_down_invalidations
+  obs::Counter* metric_recovered = nullptr;         // citus.2pc.recovered
 
   // ---- citus_stat_statements backing store ----
   void RecordStatement(const std::string& normalized, const std::string& tier,
@@ -203,6 +266,10 @@ class CitusExtension {
   /// 2PC recovery must not touch their prepared transactions.
   std::set<std::string> active_dist_txns_;
   std::map<std::string, StatStatementEntry> stat_statements_;
+  /// Workers observed down (cleared on successful reconnect).
+  std::set<std::string> down_workers_;
+  /// Worker -> shard tables awaiting cleanup (dropped by the daemon).
+  std::map<std::string, std::vector<std::string>> pending_cleanup_;
 
  public:
   void MarkDistTxnActive(const std::string& id) {

@@ -977,10 +977,20 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
     target_worker = t->shards[static_cast<size_t>(idx)].placement;
   }
   if (analysis.distributed.empty()) {
-    // Reference-table-only query: route to the local replica.
+    // Reference-table-only query: prefer the local replica; when this node
+    // holds none (replicas trimmed), route to the first replica holder.
     routable = true;
     shard_index = 0;
     target_worker = ext_->node()->name();
+    if (!analysis.reference.empty()) {
+      const auto& replicas = analysis.reference[0]->replica_nodes;
+      bool local_replica =
+          std::find(replicas.begin(), replicas.end(), target_worker) !=
+          replicas.end();
+      if (!local_replica && !replicas.empty()) {
+        target_worker = replicas.front();
+      }
+    }
   }
   if (routable) {
     bool is_fast_path = analysis.distributed.size() == 1 &&
@@ -1007,6 +1017,17 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteSelect(
     task.shard_group = analysis.distributed.empty() ? -1 : shard_index;
     task.sql = sql::DeparseSelect(sel, opts);
     task.is_write = sel.for_update;
+    // Reference-table reads can run against any replica: list the other
+    // holders as failover targets in case the routed node is down.
+    if (analysis.distributed.empty() && !analysis.reference.empty() &&
+        !sel.for_update) {
+      for (const std::string& replica :
+           analysis.reference[0]->replica_nodes) {
+        if (replica != target_worker) {
+          task.fallback_workers.push_back(replica);
+        }
+      }
+    }
     AdaptiveExecutor executor(ext_);
     CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
                             executor.Execute(session, {task}));

@@ -38,28 +38,56 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
       tables[0]->shards[static_cast<size_t>(shard_index)].placement;
   if (source == target) return Status::OK();
 
+  // Shard tables created on the target so far: a mid-move failure must
+  // drop them (or defer the drop when the target is unreachable) and leave
+  // the distributed metadata untouched.
+  std::vector<std::string> created;
+  auto abort_move = [&](Status why) -> Status {
+    if (created.empty()) return why;
+    engine::Node* tnode = ext_->directory().Find(target);
+    if (tnode == nullptr || tnode->is_down()) {
+      // Target dead: the maintenance daemon drops the orphaned placements
+      // once it is reachable again.
+      ext_->AddDeferredCleanup(target, created);
+      return why;
+    }
+    auto conn = ext_->GetConnection(session, target, {0, -1});
+    if (!conn.ok() || !(*conn)->conn->usable()) {
+      ext_->AddDeferredCleanup(target, created);
+      return why;
+    }
+    for (const std::string& t : created) {
+      auto r = (*conn)->conn->Query("DROP TABLE IF EXISTS " + t);
+      if (!r.ok()) ext_->AddDeferredCleanup(target, {t});
+    }
+    return why;
+  };
+
   // Phase 1: create the new placements and copy a snapshot while writes
   // continue on the source (logical replication initial data copy).
   for (CitusTable* table : tables) {
     uint64_t shard_id =
         table->shards[static_cast<size_t>(shard_index)].shard_id;
-    CITUSX_ASSIGN_OR_RETURN(std::vector<std::string> ddl,
-                            ShardCreationDdl(ext_->node(), *table, shard_id));
-    CITUSX_ASSIGN_OR_RETURN(WorkerConnection * wc,
-                            ext_->GetConnection(session, target, {0, -1}));
-    for (const auto& sql_text : ddl) {
-      CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
-                              wc->conn->Query(sql_text));
-      (void)r;
+    auto ddl = ShardCreationDdl(ext_->node(), *table, shard_id);
+    if (!ddl.ok()) return abort_move(ddl.status());
+    auto wcr = ext_->GetConnection(session, target, {0, -1});
+    if (!wcr.ok()) return abort_move(wcr.status());
+    WorkerConnection* wc = *wcr;
+    // The first DDL statement creates the table; record it up front so a
+    // partial DDL failure still gets cleaned up (DROP IF EXISTS is
+    // idempotent).
+    created.push_back(table->ShardName(shard_id));
+    for (const auto& sql_text : *ddl) {
+      auto r = wc->conn->Query(sql_text);
+      if (!r.ok()) return abort_move(r.status());
     }
-    CITUSX_ASSIGN_OR_RETURN(
-        std::vector<std::vector<std::string>> rows,
-        FetchShardRows(ext_, session, source, table->ShardName(shard_id)));
-    if (!rows.empty()) {
-      CITUSX_ASSIGN_OR_RETURN(
-          engine::QueryResult copied,
-          wc->conn->CopyIn(table->ShardName(shard_id), {}, std::move(rows)));
-      (void)copied;
+    auto rows = FetchShardRows(ext_, session, source,
+                               table->ShardName(shard_id));
+    if (!rows.ok()) return abort_move(rows.status());
+    if (!rows->empty()) {
+      auto copied =
+          wc->conn->CopyIn(table->ShardName(shard_id), {}, std::move(*rows));
+      if (!copied.ok()) return abort_move(copied.status());
     }
   }
 
@@ -68,22 +96,35 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
   // update the distributed metadata.
   sim::Time block_start = ext_->node()->sim()->now();
   // Take exclusive locks on the source shard tables (blocks writers).
-  CITUSX_ASSIGN_OR_RETURN(WorkerConnection * src_conn,
-                          ext_->GetConnection(session, source, {0, -1}));
-  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult rb,
-                          src_conn->conn->Query("BEGIN"));
-  (void)rb;
+  auto src = ext_->GetConnection(session, source, {0, -1});
+  if (!src.ok()) return abort_move(src.status());
+  WorkerConnection* src_conn = *src;
+  auto rb = src_conn->conn->Query("BEGIN");
+  if (!rb.ok()) return abort_move(rb.status());
+  auto rollback_and_abort = [&](Status why) -> Status {
+    auto r = src_conn->conn->Query("ROLLBACK");
+    (void)r;
+    src_conn->txn_open = false;
+    return abort_move(std::move(why));
+  };
+  src_conn->txn_open = true;
   for (CitusTable* table : tables) {
     uint64_t shard_id =
         table->shards[static_cast<size_t>(shard_index)].shard_id;
     // SELECT .. FOR UPDATE takes row locks; for the catch-up window a
     // table-level write blocker is modelled by a short LOCK via TRUNCATE-free
     // exclusive acquisition: we reuse FOR UPDATE over the shard.
-    CITUSX_ASSIGN_OR_RETURN(
-        engine::QueryResult r,
-        src_conn->conn->Query("SELECT count(*) FROM " +
-                              table->ShardName(shard_id) + " FOR UPDATE"));
-    (void)r;
+    auto r = src_conn->conn->Query("SELECT count(*) FROM " +
+                                   table->ShardName(shard_id) + " FOR UPDATE");
+    if (!r.ok()) return rollback_and_abort(r.status());
+  }
+  // The flip hands the placements to the target: refuse if it died while
+  // the source was being locked, otherwise queries would route to a dead
+  // node with no data to fall back on.
+  engine::Node* tnode = ext_->directory().Find(target);
+  if (tnode == nullptr || tnode->is_down()) {
+    return rollback_and_abort(Status::Unavailable(
+        "shard move aborted: target " + target + " went down"));
   }
   // Metadata flip: new queries now go to the target placement. Bump the
   // metadata generation so cached distributed plans stop routing to the
@@ -92,10 +133,22 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
     table->shards[static_cast<size_t>(shard_index)].placement = target;
   }
   ext_->metadata().BumpGeneration();
-  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult rc,
-                          src_conn->conn->Query("COMMIT"));
-  (void)rc;
+  auto rc = src_conn->conn->Query("COMMIT");
+  src_conn->txn_open = false;
   last_move_blocked_time = ext_->node()->sim()->now() - block_start;
+  if (!rc.ok()) {
+    // The source died after the flip: the target holds the data and the
+    // metadata is consistent, so the move stands; only the old placements
+    // could not be dropped — leave that to the maintenance daemon.
+    std::vector<std::string> old_tables;
+    for (CitusTable* table : tables) {
+      uint64_t shard_id =
+          table->shards[static_cast<size_t>(shard_index)].shard_id;
+      old_tables.push_back(table->ShardName(shard_id));
+    }
+    ext_->AddDeferredCleanup(source, std::move(old_tables));
+    return Status::OK();
+  }
 
   // Cleanup: drop the old placements (deferred cleanup in real Citus).
   for (CitusTable* table : tables) {

@@ -7,6 +7,7 @@
 #include "citus/plancache.h"
 #include "citus/planner.h"
 #include "engine/planner.h"
+#include "sim/fault.h"
 
 namespace citusx::citus {
 
@@ -15,6 +16,7 @@ namespace {
 constexpr const char* kStatStatements = "citus_stat_statements";
 constexpr const char* kStatActivity = "citus_stat_activity";
 constexpr const char* kStatPlanCache = "citus_stat_plan_cache";
+constexpr const char* kStatFailures = "citus_stat_failures";
 
 void CollectNames(const sql::TableRef& ref, std::set<std::string>* out) {
   switch (ref.kind) {
@@ -96,6 +98,44 @@ engine::TempRelation BuildStatPlanCache(CitusExtension* ext,
   return rel;
 }
 
+// One row per node: injected fault count plus the failure-path counters
+// that accumulated on that node's metric registry (chaos observability).
+engine::TempRelation BuildStatFailures(CitusExtension* ext) {
+  engine::TempRelation rel;
+  rel.column_names = {"node_name",          "faults_injected",
+                      "connection_drops",   "statement_timeouts",
+                      "admission_rejected", "task_retries",
+                      "failovers",          "pruned_connections",
+                      "partial_failures",   "recovered_txns"};
+  rel.column_types = {sql::TypeId::kText, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8};
+  sim::Simulation* sim = ext->node()->sim();
+  for (const std::string& name : ext->directory().names()) {
+    engine::Node* node = ext->directory().Find(name);
+    if (node == nullptr) continue;
+    int64_t injected = sim->has_fault_injector()
+                           ? sim->faults().injected_on(name)
+                           : 0;
+    obs::Metrics& m = node->metrics();
+    rel.rows.push_back(
+        {sql::Datum::Text(name), sql::Datum::Int8(injected),
+         sql::Datum::Int8(m.counter("net.connection_drops")->value()),
+         sql::Datum::Int8(m.counter("net.statement_timeouts")->value()),
+         sql::Datum::Int8(m.counter("net.admission_rejected")->value()),
+         sql::Datum::Int8(m.counter("citus.failures.retries")->value()),
+         sql::Datum::Int8(m.counter("citus.failures.failovers")->value()),
+         sql::Datum::Int8(
+             m.counter("citus.failures.pruned_connections")->value()),
+         sql::Datum::Int8(
+             m.counter("citus.failures.partial_failures")->value()),
+         sql::Datum::Int8(m.counter("citus.2pc.recovered")->value())});
+  }
+  return rel;
+}
+
 }  // namespace
 
 Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
@@ -110,12 +150,15 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   bool wants_statements = names.count(kStatStatements) > 0;
   bool wants_activity = names.count(kStatActivity) > 0;
   bool wants_plan_cache = names.count(kStatPlanCache) > 0;
-  if (!wants_statements && !wants_activity && !wants_plan_cache) {
+  bool wants_failures = names.count(kStatFailures) > 0;
+  if (!wants_statements && !wants_activity && !wants_plan_cache &&
+      !wants_failures) {
     return std::optional<engine::QueryResult>();
   }
   engine::TempRelation statements;
   engine::TempRelation activity;
   engine::TempRelation plan_cache;
+  engine::TempRelation failures;
   std::map<std::string, const engine::TempRelation*> temps;
   if (wants_statements) {
     statements = BuildStatStatements(ext);
@@ -128,6 +171,10 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   if (wants_plan_cache) {
     plan_cache = BuildStatPlanCache(ext, session);
     temps[kStatPlanCache] = &plan_cache;
+  }
+  if (wants_failures) {
+    failures = BuildStatFailures(ext);
+    temps[kStatFailures] = &failures;
   }
   engine::PlannerInput input;
   input.catalog = &session.node()->catalog();

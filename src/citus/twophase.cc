@@ -109,6 +109,11 @@ Status CitusExtension::PreCommit(engine::Session& session) {
   // record is the 2PC decision record (recovery commits/aborts prepared
   // worker txns based on it), so its flush cannot be skipped even when the
   // local transaction wrote nothing itself.
+  if (twophase_fault_hook) {
+    // A failure here models the coordinator dying before any PREPARE went
+    // out: no worker holds a prepared transaction, everything aborts.
+    CITUSX_RETURN_IF_ERROR(twophase_fault_hook(TwoPhasePoint::kBeforePrepare));
+  }
   session.MarkTxnWrite();
   std::map<WorkerConnection*, std::string> gids;
   int seq = 0;
@@ -145,9 +150,40 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     }
     return failure;
   }
+  if (twophase_fault_hook) {
+    Status s = twophase_fault_hook(TwoPhasePoint::kAfterPrepare);
+    if (!s.ok()) {
+      // The coordinator died between PREPARE and the commit record: its
+      // session memory of the prepared gids is gone, so the abort path
+      // cannot roll them back. The workers keep the prepared transactions
+      // until the recovery daemon — finding no commit record — aborts them.
+      for (WorkerConnection* wc : writers) {
+        wc->prepared_gid.clear();
+        wc->did_write = false;
+        wc->groups.clear();
+      }
+      return s;
+    }
+  }
   // Commit records become durable with the local commit that follows.
   for (WorkerConnection* wc : writers) {
     CITUSX_RETURN_IF_ERROR(WriteCommitRecord(this, session, wc->prepared_gid));
+  }
+  if (twophase_fault_hook) {
+    // A failure here lands between the record insert and the local commit:
+    // the records roll back with the local transaction, so recovery aborts
+    // the prepared transactions — same outcome as kAfterPrepare. The
+    // crash-after-durable-record case is modelled by
+    // suppress_post_commit_2pc_once instead (see PostCommit).
+    Status s = twophase_fault_hook(TwoPhasePoint::kAfterCommitRecord);
+    if (!s.ok()) {
+      for (WorkerConnection* wc : writers) {
+        wc->prepared_gid.clear();
+        wc->did_write = false;
+        wc->groups.clear();
+      }
+      return s;
+    }
   }
   two_phase_commits++;
   metric_2pc_commits->Inc();
@@ -162,6 +198,15 @@ void CitusExtension::PostCommit(engine::Session& session) {
     for (auto& wc : conns) {
       if (!wc->prepared_gid.empty()) prepared.push_back(wc.get());
     }
+  }
+  if (suppress_post_commit_2pc_once && !prepared.empty()) {
+    // Models the coordinator crashing right after its local commit made the
+    // records durable: COMMIT PREPARED never goes out and the session's
+    // memory of the gids is lost. The recovery daemon finds the records and
+    // finishes the commit — the transaction was acknowledged and must win.
+    suppress_post_commit_2pc_once = false;
+    for (WorkerConnection* wc : prepared) wc->prepared_gid.clear();
+    prepared.clear();
   }
   // Best effort, in parallel: failures are repaired by 2PC recovery.
   // Finalized commit records are garbage-collected lazily by the
@@ -249,6 +294,7 @@ Result<int> CitusExtension::RecoverTwoPhaseCommits(engine::Session& session) {
           DeleteCommitRecord(this, session, gid);
           finalized++;
           recovered_txns++;
+          metric_recovered->Inc();
         }
       } else {
         // No commit record for an ended transaction: it must abort.
@@ -256,6 +302,7 @@ Result<int> CitusExtension::RecoverTwoPhaseCommits(engine::Session& session) {
         if (r.ok()) {
           finalized++;
           recovered_txns++;
+          metric_recovered->Inc();
         }
       }
     }

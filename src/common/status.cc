@@ -28,8 +28,50 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kConnectionLost:
+      return "ConnectionLost";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
+}
+
+const char* ErrorClassName(ErrorClass ec) {
+  switch (ec) {
+    case ErrorClass::kNone:
+      return "None";
+    case ErrorClass::kRetryableTransient:
+      return "RetryableTransient";
+    case ErrorClass::kNodeDown:
+      return "NodeDown";
+    case ErrorClass::kFatal:
+      return "Fatal";
+  }
+  return "Unknown";
+}
+
+ErrorClass Status::error_class() const {
+  switch (code_) {
+    case StatusCode::kOk:
+      return ErrorClass::kNone;
+    case StatusCode::kAborted:
+    case StatusCode::kDeadlock:
+    case StatusCode::kConnectionLost:
+    case StatusCode::kTimeout:
+    case StatusCode::kResourceExhausted:
+      return ErrorClass::kRetryableTransient;
+    case StatusCode::kUnavailable:
+      return ErrorClass::kNodeDown;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kNotSupported:
+    case StatusCode::kInternal:
+    case StatusCode::kCancelled:
+    case StatusCode::kIoError:
+      return ErrorClass::kFatal;
+  }
+  return ErrorClass::kFatal;
 }
 
 std::string Status::ToString() const {

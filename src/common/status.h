@@ -24,10 +24,26 @@ enum class StatusCode {
   kResourceExhausted, // out of connections, memory budget, etc.
   kCancelled,         // statement cancelled
   kIoError,           // simulated storage failure
+  kConnectionLost,    // connection broken mid-use (reset, crash, desync)
+  kTimeout,           // statement deadline exceeded
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Coarse failure taxonomy layered over StatusCode: how the error should be
+/// *handled* by a distributed caller (paper §3.2: surviving worker failure).
+enum class ErrorClass {
+  kNone,               // OK
+  kRetryableTransient, // safe to retry: aborts, lost/timed-out connections,
+                       // exhausted pools — the cluster itself is healthy
+  kNodeDown,           // the target node is unreachable; fail over if a
+                       // replica exists, otherwise surface the outage
+  kFatal,              // semantic/internal error: retrying cannot help
+};
+
+/// Returns a short human-readable name ("RetryableTransient", ...).
+const char* ErrorClassName(ErrorClass ec);
 
 /// A success-or-error value. Cheap to copy in the OK case.
 class Status {
@@ -70,6 +86,12 @@ class Status {
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
   }
+  static Status ConnectionLost(std::string m) {
+    return Status(StatusCode::kConnectionLost, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +102,13 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsConnectionLost() const {
+    return code_ == StatusCode::kConnectionLost;
+  }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// The handling class of this status (see ErrorClass).
+  ErrorClass error_class() const;
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

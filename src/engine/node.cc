@@ -130,6 +130,7 @@ bool Node::CancelDistributedTxn(const std::string& dist_id) {
 
 void Node::Crash() {
   down_ = true;
+  restart_epoch_++;
   // Non-prepared in-progress transactions abort and lose their locks;
   // prepared transactions keep theirs across the restart (PostgreSQL
   // persists them in the WAL).

@@ -101,6 +101,10 @@ class Node {
   /// Bring the node back (recovery of prepared transactions already done by
   /// the transaction manager's durable state).
   void Restart();
+  /// Incremented on every crash. Connections snapshot it at establishment:
+  /// a mismatch later means the backend process died with the crash, so the
+  /// client handle is broken even after the node restarts.
+  uint64_t restart_epoch() const { return restart_epoch_; }
 
   /// WAL flush with group commit: waits the flush latency, and every
   /// `kGroupCommitBatch`-th flush pays one disk I/O (concurrent commits on a
@@ -128,6 +132,7 @@ class Node {
   std::map<std::string, Procedure> procedures_;
   std::map<TxnId, std::string> dist_id_of_txn_;
   bool down_ = false;
+  uint64_t restart_epoch_ = 0;
   bool workers_started_ = false;
 };
 

@@ -22,6 +22,12 @@ void TxnManager::Abort(TxnId xid) {
 }
 
 Status TxnManager::Prepare(TxnId xid, const std::string& gid) {
+  if (xid < states_.size() && states_[xid] == TxnState::kAborted) {
+    // The transaction was aborted underneath the session (crash recovery or
+    // a cancellation); like PostgreSQL's 25P02 this follows a transient
+    // cause, so the client may retry the whole transaction.
+    return Status::Aborted("cannot prepare: transaction was aborted");
+  }
   if (xid >= states_.size() || states_[xid] != TxnState::kInProgress) {
     return Status::InvalidArgument("cannot prepare: transaction not active");
   }

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include "common/str.h"
+#include "sim/fault.h"
 
 namespace citusx::net {
 
@@ -15,6 +16,13 @@ Cluster::Cluster(sim::Simulation* sim, const sim::CostModel& cost,
   for (auto& n : nodes_) {
     n->set_tracer(&tracer_);
     directory_.Register(n.get());
+    // Make every node a crash/restart target for the fault injector, so
+    // tests and the chaos bench can schedule failures by node name.
+    engine::Node* node = n.get();
+    sim->faults().RegisterTarget(
+        node->name(),
+        sim::FaultInjector::Target{[node] { node->Crash(); },
+                                   [node] { node->Restart(); }});
   }
 }
 

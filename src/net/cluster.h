@@ -45,6 +45,18 @@ class NodeDirectory {
     return Connection::Open(sim_, client, server, GateFor(name));
   }
 
+  /// Like Connect, but retries transient failures with capped backoff
+  /// (see Connection::OpenWithRetry).
+  Result<std::unique_ptr<Connection>> ConnectWithRetry(
+      engine::Node* client, const std::string& name, int max_attempts = 5) {
+    engine::Node* server = Find(name);
+    if (server == nullptr) {
+      return Status::NotFound("unknown node: " + name);
+    }
+    return Connection::OpenWithRetry(sim_, client, server, GateFor(name),
+                                     max_attempts);
+  }
+
   std::vector<std::string> names() const {
     std::vector<std::string> out;
     for (const auto& [n, node] : nodes_) out.push_back(n);

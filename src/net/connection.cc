@@ -1,5 +1,9 @@
 #include "net/connection.h"
 
+#include <algorithm>
+
+#include "sim/fault.h"
+
 namespace citusx::net {
 
 int64_t ResultWireBytes(const engine::QueryResult& result) {
@@ -22,6 +26,8 @@ Connection::Connection(sim::Simulation* sim, engine::Node* client,
   round_trips_metric_ = server->metrics().counter("net.round_trips");
   bytes_out_metric_ = server->metrics().counter("net.bytes_received");
   bytes_in_metric_ = server->metrics().counter("net.bytes_sent");
+  timeouts_metric_ = server->metrics().counter("net.statement_timeouts");
+  drops_metric_ = server->metrics().counter("net.connection_drops");
 }
 
 sim::Time Connection::HalfRtt() const {
@@ -38,12 +44,19 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
     return Status::Unavailable("could not connect: " + server->name() +
                                " is down");
   }
+  if (sim->has_fault_injector() && sim->faults().armed() &&
+      sim->faults().IsRefusingConnections(server->name())) {
+    return Status::Unavailable("could not connect: " + server->name() +
+                               " refused the connection");
+  }
   if (gate != nullptr && !gate->TryAdmit()) {
+    server->metrics().counter("net.admission_rejected")->Inc();
     return Status::ResourceExhausted(
         "FATAL: sorry, too many clients already (" + server->name() + ")");
   }
   auto conn = std::unique_ptr<Connection>(
       new Connection(sim, client, server, gate));
+  conn->server_epoch_ = server->restart_epoch();
   server->metrics().counter("net.connections_opened")->Inc();
   // Establishment: RTT handshakes + backend process fork on the server.
   if (!sim->WaitFor(server->cost().connect_cost +
@@ -54,21 +67,36 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
   if (!server->cpu().Consume(500 * sim::kMicrosecond)) {
     return Status::Cancelled("simulation stopping");
   }
+  // The server may have crashed during the handshake.
+  if (server->is_down() || server->restart_epoch() != conn->server_epoch_) {
+    return Status::Unavailable("could not connect: " + server->name() +
+                               " went down during the handshake");
+  }
   // The backend process serving this connection. It shares ownership of the
   // channels: the client handle may be destroyed while the backend is still
   // draining (PostgreSQL backends also outlive the socket briefly).
   auto requests = conn->requests_;
   auto responses = conn->responses_;
+  uint64_t epoch = conn->server_epoch_;
   sim->Spawn(
       server->name() + ":backend",
-      [requests, responses, server] {
+      [requests, responses, server, epoch] {
         auto session = server->OpenSession();
         for (;;) {
           auto req = requests->Receive();
           if (!req.has_value()) break;  // connection closed
           Response resp;
+          resp.seq = req->seq;
           if (server->is_down()) {
             resp.status = Status::Unavailable(server->name() + " is down");
+            resp.transport = true;
+          } else if (server->restart_epoch() != epoch) {
+            // The backend process died in the crash; any straggling request
+            // finds the socket reset.
+            resp.status = Status::ConnectionLost(
+                "server closed the connection unexpectedly (" +
+                server->name() + " restarted)");
+            resp.transport = true;
           } else if (!req->batch.empty()) {
             session->SetVar("citusx.trace_ctx", req->trace_context);
             for (const auto& sql : req->batch) {
@@ -92,6 +120,19 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
               resp.status = r.status();
             }
           }
+          if (server->is_down() || server->restart_epoch() != epoch) {
+            // The server crashed while the statement was executing. The
+            // backend process died with it, so whatever the half-run
+            // statement produced never reaches the wire — the client
+            // observes a reset socket, not a confused SQL-level error
+            // (e.g. PREPARE finding its transaction crash-aborted).
+            resp = Response{};
+            resp.seq = req->seq;
+            resp.status = Status::ConnectionLost(
+                "server closed the connection unexpectedly (" +
+                server->name() + " crashed mid-statement)");
+            resp.transport = true;
+          }
           responses->Send(std::move(resp));
         }
       },
@@ -99,12 +140,74 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
   return conn;
 }
 
+Result<std::unique_ptr<Connection>> Connection::OpenWithRetry(
+    sim::Simulation* sim, engine::Node* client, engine::Node* server,
+    ConnectionGate* gate, int max_attempts, sim::Time initial_backoff,
+    sim::Time max_backoff) {
+  Status last = Status::Unavailable("no connection attempts made");
+  sim::Time backoff = initial_backoff;
+  for (int attempt = 1; attempt <= max_attempts; attempt++) {
+    auto conn = Open(sim, client, server, gate);
+    if (conn.ok()) return conn;
+    last = conn.status();
+    if (last.error_class() == ErrorClass::kFatal) return last;
+    if (attempt == max_attempts) break;
+    if (!sim->WaitFor(backoff)) return Status::Cancelled("simulation stopping");
+    backoff = std::min(backoff * 2, max_backoff);
+  }
+  return last;
+}
+
 Result<engine::QueryResult> Connection::RoundTrip(Request req) {
   if (closed_) return Status::Internal("connection is closed");
+  if (broken_) {
+    return Status::ConnectionLost("connection to " + server_->name() +
+                                  " is broken");
+  }
   if (server_->is_down()) {
+    broken_ = true;
     return Status::Unavailable(server_->name() + " is down");
   }
+  if (server_->restart_epoch() != server_epoch_) {
+    // The server crashed and came back; this handle's backend died with it.
+    broken_ = true;
+    return Status::ConnectionLost(
+        "server closed the connection unexpectedly (" + server_->name() +
+        " restarted)");
+  }
+  sim::Time extra_delay = 0;
+  if (sim_->has_fault_injector() && sim_->faults().armed()) {
+    sim::FaultInjector& faults = sim_->faults();
+    if (faults.ShouldDropRoundTrip(server_->name())) {
+      broken_ = true;
+      drops_metric_->Inc();
+      return Status::ConnectionLost("connection to " + server_->name() +
+                                    " reset by peer");
+    }
+    extra_delay = faults.ExtraDelay(server_->name());
+  }
   req.trace_context = trace_context_;
+  req.seq = ++next_seq_;
+  uint64_t seq = req.seq;
+  if (statement_timeout_ > 0) {
+    // Deadline sentinel: a daemon that races the full round trip (outbound
+    // latency included, so delay spikes count against the deadline).
+    // Responses carry the request sequence, so a stale sentinel (reply won)
+    // or a late reply (sentinel won) is discarded by the match below.
+    auto responses = responses_;
+    sim::Simulation* sim = sim_;
+    sim::Time deadline = statement_timeout_;
+    sim_->Spawn(
+        "net:stmt_timeout",
+        [responses, sim, deadline, seq] {
+          if (!sim->WaitFor(deadline)) return;
+          Response r;
+          r.seq = seq;
+          r.timer = true;
+          responses->Send(std::move(r));
+        },
+        /*daemon=*/true);
+  }
   // Outbound latency plus bandwidth for COPY payloads.
   int64_t out_bytes = static_cast<int64_t>(req.sql.size());
   for (const auto& row : req.copy_rows) {
@@ -113,12 +216,26 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
   round_trips_metric_->Inc();
   bytes_out_metric_->Inc(out_bytes);
   sim::Time bw = out_bytes * sim::kSecond / server_->cost().net_bytes_per_second;
-  if (!sim_->WaitFor(HalfRtt() + bw)) {
+  if (!sim_->WaitFor(HalfRtt() + bw + extra_delay)) {
     return Status::Cancelled("simulation stopping");
   }
   requests_->Send(std::move(req));
-  auto resp = responses_->Receive();
-  if (!resp.has_value()) return Status::Cancelled("connection torn down");
+  std::optional<Response> resp;
+  for (;;) {
+    resp = responses_->Receive();
+    if (!resp.has_value()) return Status::Cancelled("connection torn down");
+    if (resp->seq != seq) continue;  // stale sentinel or abandoned reply
+    if (resp->timer) {
+      // Deadline exceeded. The real reply is still in flight, so the
+      // connection cannot be reused (libpq semantics after a cancel/desync).
+      broken_ = true;
+      timeouts_metric_->Inc();
+      return Status::Timeout(
+          "canceling statement due to statement timeout (" + server_->name() +
+          ")");
+    }
+    break;
+  }
   // Inbound latency plus result bandwidth plus client-side deserialization.
   int64_t in_bytes = ResultWireBytes(resp->result);
   bytes_in_metric_->Inc(in_bytes);
@@ -133,7 +250,13 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
       return Status::Cancelled("simulation stopping");
     }
   }
-  if (!resp->status.ok()) return resp->status;
+  if (!resp->status.ok()) {
+    // Transport failures (the backend died with the server) break the
+    // connection; SQL-level errors — including an Unavailable raised by a
+    // distributed executor running *on* the server — leave it usable.
+    if (resp->transport) broken_ = true;
+    return resp->status;
+  }
   return std::move(resp->result);
 }
 

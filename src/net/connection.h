@@ -4,6 +4,13 @@
 // Each open connection is backed by a dedicated server-side session process
 // on the target node (PostgreSQL's process-per-connection model), which is
 // what makes connection scaling a real phenomenon in the simulation (§3.2.1).
+//
+// Failure semantics (chaos testing): a connection becomes *broken* — and
+// every later use returns ConnectionLost — when the server crashes (even if
+// it restarts: the backend process died with it), when a statement deadline
+// expires (the reply is still in flight, like libpq after a desync), or when
+// the fault injector drops the round trip. Callers recover by opening a
+// fresh connection, optionally through OpenWithRetry's capped backoff.
 #ifndef CITUSX_NET_CONNECTION_H_
 #define CITUSX_NET_CONNECTION_H_
 
@@ -23,13 +30,20 @@ class ConnectionGate {
   ConnectionGate(sim::Simulation* sim, int max_connections)
       : slots_(sim, max_connections) {}
 
-  bool TryAdmit() { return slots_.TryAcquire(); }
+  bool TryAdmit() {
+    if (slots_.TryAcquire()) return true;
+    rejected_++;
+    return false;
+  }
   void Release() { slots_.Release(); }
   int64_t in_use() const { return slots_.capacity() - slots_.available(); }
   int64_t capacity() const { return slots_.capacity(); }
+  /// Connection attempts turned away because every slot was taken.
+  int64_t rejected() const { return rejected_; }
 
  private:
   sim::Semaphore slots_;
+  int64_t rejected_ = 0;
 };
 
 /// A client handle to a SQL connection. Create with Connection::Open; all
@@ -44,12 +58,21 @@ class Connection {
 
   /// Establish a connection to `server`. Charges connection-establishment
   /// cost and a round trip; fails with ResourceExhausted when the server is
-  /// out of connection slots, Unavailable when it is down.
+  /// out of connection slots, Unavailable when it is down or refusing.
   /// `client` may be null (external driver machine with free CPU).
   static Result<std::unique_ptr<Connection>> Open(sim::Simulation* sim,
                                                   engine::Node* client,
                                                   engine::Node* server,
                                                   ConnectionGate* gate);
+
+  /// Open with capped exponential backoff across transient failures
+  /// (node down, pool exhausted, injected refusal). Fatal errors and
+  /// cancellation return immediately.
+  static Result<std::unique_ptr<Connection>> OpenWithRetry(
+      sim::Simulation* sim, engine::Node* client, engine::Node* server,
+      ConnectionGate* gate, int max_attempts = 5,
+      sim::Time initial_backoff = 10 * sim::kMillisecond,
+      sim::Time max_backoff = 200 * sim::kMillisecond);
 
   /// Run one SQL statement and wait for the result.
   Result<engine::QueryResult> Query(const std::string& sql);
@@ -70,6 +93,23 @@ class Connection {
   engine::Node* server() const { return server_; }
   bool closed() const { return closed_; }
 
+  /// Per-statement deadline (0 = none). When a round trip exceeds it, the
+  /// statement fails with Timeout and the connection becomes broken.
+  void SetStatementTimeout(sim::Time deadline) {
+    statement_timeout_ = deadline;
+  }
+  sim::Time statement_timeout() const { return statement_timeout_; }
+
+  /// True once the connection can no longer carry requests (server crash,
+  /// statement timeout, injected drop). Broken connections must be replaced.
+  bool broken() const { return broken_; }
+
+  /// True when a request sent now could still succeed.
+  bool usable() const {
+    return !closed_ && !broken_ && !server_->is_down() &&
+           server_->restart_epoch() == server_epoch_;
+  }
+
   /// Trace context ("trace_id:span_id") attached to every subsequent request
   /// so the server-side session can parent its spans under the caller's.
   /// Pass an empty string to stop propagating.
@@ -79,6 +119,7 @@ class Connection {
   struct Request {
     enum class Kind { kQuery, kCopy };
     Kind kind = Kind::kQuery;
+    uint64_t seq = 0;  // matches responses (incl. timeout timers) to requests
     std::string sql;
     std::vector<std::string> batch;  // when non-empty, run all, return last
     std::vector<sql::Datum> params;
@@ -88,6 +129,11 @@ class Connection {
     std::string trace_context;  // empty = not traced
   };
   struct Response {
+    uint64_t seq = 0;
+    bool timer = false;  // deadline sentinel, not a server reply
+    /// Status describes a transport failure (backend died), not a SQL error;
+    /// only these break the connection.
+    bool transport = false;
     Status status;
     engine::QueryResult result;
   };
@@ -107,11 +153,17 @@ class Connection {
   std::shared_ptr<sim::Channel<Request>> requests_;
   std::shared_ptr<sim::Channel<Response>> responses_;
   bool closed_ = false;
+  bool broken_ = false;
+  uint64_t next_seq_ = 0;
+  sim::Time statement_timeout_ = 0;
+  uint64_t server_epoch_ = 0;  // server restart epoch at establishment
   std::string trace_context_;
   // Server-node metric handles, resolved once at open.
   obs::Counter* round_trips_metric_ = nullptr;
   obs::Counter* bytes_out_metric_ = nullptr;
   obs::Counter* bytes_in_metric_ = nullptr;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Counter* drops_metric_ = nullptr;
 };
 
 /// Estimated wire size of a query result (for bandwidth charging).

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "sim/fault.h"
+
 namespace citusx::sim {
 
 namespace {
@@ -11,7 +13,14 @@ thread_local Process* g_current_process = nullptr;
 
 Process* Simulation::Current() { return g_current_process; }
 
+Simulation::Simulation() = default;
+
 Simulation::~Simulation() { Shutdown(); }
+
+FaultInjector& Simulation::faults() {
+  if (faults_ == nullptr) faults_ = std::make_unique<FaultInjector>(this);
+  return *faults_;
+}
 
 Time Simulation::now() const {
   std::lock_guard<std::mutex> lock(mu_);

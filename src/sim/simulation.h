@@ -34,6 +34,7 @@ constexpr Time kMillisecond = 1000 * kMicrosecond;
 constexpr Time kSecond = 1000 * kMillisecond;
 
 class Simulation;
+class FaultInjector;
 
 /// One simulated thread of control. Created via Simulation::Spawn; the body
 /// runs on a dedicated OS thread but only while it holds the baton.
@@ -71,7 +72,7 @@ class Process {
 ///   sim.Shutdown();   // cancels daemons and joins all threads
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -119,6 +120,13 @@ class Simulation {
   /// Number of events processed so far (for tests/diagnostics).
   uint64_t events_processed() const { return events_processed_; }
 
+  /// The simulation's fault injector (chaos testing), created lazily on
+  /// first access. Callable from anywhere in the simulation domain.
+  FaultInjector& faults();
+
+  /// True once faults() has been called (lets hot paths skip the lookup).
+  bool has_fault_injector() const { return faults_ != nullptr; }
+
  private:
   struct Event {
     Time time;
@@ -156,6 +164,7 @@ class Simulation {
   Process* running_ = nullptr;
   bool stopping_ = false;
   bool shutdown_done_ = false;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace citusx::sim

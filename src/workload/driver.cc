@@ -14,13 +14,25 @@ DriverResult RunDriver(sim::Simulation* sim, net::NodeDirectory* directory,
         options.endpoints[static_cast<size_t>(c) % options.endpoints.size()];
     sim->Spawn("client", [=, &result, &options]() {
       Rng rng(static_cast<uint64_t>(c) * 7919 + 17);
-      auto conn = directory->Connect(nullptr, endpoint);
+      auto conn = directory->ConnectWithRetry(nullptr, endpoint);
       if (!conn.ok()) {
         std::fprintf(stderr, "client %d: %s\n", c,
                      conn.status().ToString().c_str());
         return;
       }
       while (sim->now() < end) {
+        // Clients survive server failures: a broken connection is replaced
+        // with capped backoff before the next transaction, like an
+        // application-side connection pooler would.
+        if (!(*conn)->usable()) {
+          auto fresh = directory->ConnectWithRetry(nullptr, endpoint);
+          if (!fresh.ok()) {
+            if (!sim->WaitFor(100 * sim::kMillisecond)) break;
+            continue;
+          }
+          conn = std::move(fresh);
+          result.reconnects++;
+        }
         sim::Time t0 = sim->now();
         Status st = txn(**conn, c, rng);
         sim::Time t1 = sim->now();
@@ -28,11 +40,13 @@ DriverResult RunDriver(sim::Simulation* sim, net::NodeDirectory* directory,
           if (st.ok()) {
             result.transactions++;
             result.latency.Record(t1 - t0);
-          } else if (st.IsDeadlock() || st.IsAborted()) {
-            // Retryable aborts: part of normal OLTP operation.
-            result.aborts++;
+          } else if (st.error_class() == ErrorClass::kRetryableTransient ||
+                     st.error_class() == ErrorClass::kNodeDown) {
+            // Transient: deadlock/serialization aborts, dropped connections,
+            // timeouts, node-down — an application would retry these.
+            result.retryable_errors++;
           } else {
-            result.errors++;
+            result.fatal_errors++;
             result.last_error = st.ToString();
           }
         }

@@ -27,8 +27,13 @@ struct DriverOptions {
 
 struct DriverResult {
   int64_t transactions = 0;  // completed after warmup
-  int64_t errors = 0;        // non-abort errors
-  int64_t aborts = 0;        // deadlock/serialization aborts (retryable)
+  /// Transient failures an application would retry: deadlock/serialization
+  /// aborts, dropped connections, statement timeouts, node-down errors.
+  int64_t retryable_errors = 0;
+  /// Errors that indicate a real defect (syntax, missing relation, ...).
+  int64_t fatal_errors = 0;
+  /// Times a client's connection broke and it reconnected with backoff.
+  int64_t reconnects = 0;
   std::string last_error;
   sim::Time measured_time = 0;
   sim::Histogram latency;  // nanoseconds

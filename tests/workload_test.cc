@@ -73,10 +73,10 @@ TEST_F(WorkloadTest, TpccLoadsAndRunsOnCitus) {
   DriverResult result =
       RunDriver(&sim_, &deploy_->cluster().directory(), opts, TpccMix(config));
   EXPECT_GT(result.transactions, 100);
-  EXPECT_EQ(result.errors, 0) << result.last_error;
+  EXPECT_EQ(result.fatal_errors, 0) << result.last_error;
   // A few deadlock aborts are normal for TPC-C (stock updates in random
   // order); they must stay rare.
-  EXPECT_LT(result.aborts, result.transactions / 20);
+  EXPECT_LT(result.retryable_errors, result.transactions / 20);
   // Consistency after concurrency.
   RunSim([&] {
     auto conn = deploy_->Connect();
@@ -109,8 +109,8 @@ TEST_F(WorkloadTest, TpccRunsOnPlainPostgres) {
   DriverResult result =
       RunDriver(&sim_, &deploy_->cluster().directory(), opts, TpccMix(config));
   EXPECT_GT(result.transactions, 50);
-  EXPECT_EQ(result.errors, 0) << result.last_error;
-  EXPECT_LT(result.aborts, result.transactions / 20);
+  EXPECT_EQ(result.fatal_errors, 0) << result.last_error;
+  EXPECT_LT(result.retryable_errors, result.transactions / 20);
 }
 
 TEST_F(WorkloadTest, YcsbWorkloadA) {
@@ -135,7 +135,7 @@ TEST_F(WorkloadTest, YcsbWorkloadA) {
   DriverResult result = RunDriver(&sim_, &deploy_->cluster().directory(), opts,
                                   YcsbWorkloadA(config));
   EXPECT_GT(result.transactions, 1000);
-  EXPECT_EQ(result.errors, 0) << result.last_error;
+  EXPECT_EQ(result.fatal_errors, 0) << result.last_error;
 }
 
 TEST_F(WorkloadTest, TpchQueriesReturnConsistentResultsAcrossConfigs) {
