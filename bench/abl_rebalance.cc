@@ -82,7 +82,6 @@ int main() {
       return Status::OK();
     });
     PrintDistribution(deploy, "before rebalance:");
-    sim::Time blocked = 0;
     int moves = 0;
     MustRun(sim, [&]() -> Status {
       citus::Rebalancer rebalancer(deploy.extension(deploy.coordinator()));

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Single entry point for CI and local verification:
-#   tier 1: release build + full ctest suite
+#   tier 1: release build + full ctest suite (includes cituslint: layering,
+#           status-discard, lock-rank, raw-mutex, nodiscard — see
+#           tools/cituslint/ and the baseline burn-down report below)
 #   tier 2: AddressSanitizer build + full ctest suite
+#   tier 3: ThreadSanitizer build + full ctest suite
+#   tier 4: UndefinedBehaviorSanitizer build + full ctest suite
 #   bench smoke: fig9 (2PC invariant) and abl_plancache (>= 2x plan-cache
 #                speedup), both with JSON reports the binaries self-check
 #   chaos smoke: chaos_ycsb --quick under a fixed seed against both the
@@ -27,6 +31,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "==> cituslint: per-rule violations vs committed baseline"
+# The lint gate itself already ran as a ctest above; this prints the
+# burn-down state ("N new, M baselined" per rule — baselined counts must
+# only ever shrink, enforced by the stale-entry check in the tool).
+./build/tools/cituslint/cituslint . \
+    --baseline tools/cituslint/baseline.txt --counts || true
+
 if [[ "$TIER1_ONLY" == "1" ]]; then
   echo "OK (tier 1 only)"
   exit 0
@@ -36,6 +47,16 @@ echo "==> tier 2: AddressSanitizer build + ctest"
 cmake -B build-asan -S . -DCITUSX_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)"
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+echo "==> tier 3: ThreadSanitizer build + ctest"
+cmake -B build-tsan -S . -DCITUSX_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)"
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)")
+
+echo "==> tier 4: UndefinedBehaviorSanitizer build + ctest"
+cmake -B build-ubsan -S . -DCITUSX_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j"$(nproc)"
+(cd build-ubsan && ctest --output-on-failure -j"$(nproc)")
 
 echo "==> bench smoke: fig9 (2PC) + abl_plancache (plan cache)"
 ./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json

@@ -79,9 +79,8 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
         one.truncate = std::make_shared<sql::TruncateStmt>();
         one.truncate->tables = {t};
         auto tasks = ShardDdlTasks(*table, one);
-        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                                executor.Execute(session, std::move(tasks)));
-        (void)results;
+        CITUSX_RETURN_IF_ERROR(
+            executor.Execute(session, std::move(tasks)).status());
         table->approx_rows = 0;
         table->approx_bytes = 0;
       }
@@ -102,9 +101,8 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
   switch (stmt.kind) {
     case sql::Statement::Kind::kCreateIndex: {
       auto tasks = ShardDdlTasks(*table, stmt);
-      CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                              executor.Execute(session, std::move(tasks)));
-      (void)results;
+      CITUSX_RETURN_IF_ERROR(
+          executor.Execute(session, std::move(tasks)).status());
       // Remember for future shard placements (moves), and create the index
       // on the coordinator's (empty) shell so deparsing stays complete.
       table->post_ddl.push_back(sql::DeparseStatement(stmt));
@@ -129,12 +127,12 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
       // shell drops as plain local DDL (no re-propagation).
       metadata.Remove(table_name);
       table = nullptr;
-      CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                              executor.Execute(session, std::move(tasks)));
-      (void)results;
+      CITUSX_RETURN_IF_ERROR(
+          executor.Execute(session, std::move(tasks)).status());
       // Drop the coordinator shell too.
-      auto local = session.node()->catalog().DropTable(table_name);
-      (void)local;
+      CITUSX_IGNORE_STATUS(
+          session.node()->catalog().DropTable(table_name),
+          "shard drops already applied; a missing shell is not an error");
       engine::QueryResult out;
       out.command_tag = "DROP TABLE";
       return std::optional<engine::QueryResult>(std::move(out));

@@ -2,7 +2,7 @@
 // INSERT..SELECT strategies (§3.8), distributed COPY, and stored-procedure
 // delegation.
 #include "citus/planner.h"
-#include "engine/planner.h"
+#include "engine/hooks.h"
 #include "sql/deparser.h"
 #include "sql/eval.h"
 
@@ -300,7 +300,6 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
   }
   if (colocated) {
     // Locate the target position of the distribution column.
-    engine::TableInfo* shell = ext_->node()->catalog().Find(ins.table);
     int dist_pos = -1;
     if (ins.columns.empty()) {
       dist_pos = target->dist_col_index;
@@ -311,7 +310,6 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
         }
       }
     }
-    (void)shell;
     bool dist_aligned =
         dist_pos >= 0 && dist_pos < static_cast<int>(sel.targets.size());
     if (dist_aligned) {
@@ -328,7 +326,6 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
         return Status::Cancelled("simulation stopping");
       }
       std::vector<Task> tasks;
-      const CitusTable* rep = source.distributed[0];
       for (size_t i = 0; i < target->shards.size(); i++) {
         auto map = ShardGroupTableMap(source, static_cast<int>(i));
         map[target->name] = target->ShardName(target->shards[i].shard_id);
@@ -347,7 +344,6 @@ Result<engine::QueryResult> DistributedPlanner::ExecuteInsertSelect(
         t.is_write = true;
         tasks.push_back(std::move(t));
       }
-      (void)rep;
       AdaptiveExecutor executor(ext_);
       CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
                               executor.Execute(session, std::move(tasks)));
@@ -489,9 +485,8 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedCopy(
     t.copy_rows = std::move(batch);
     tasks.push_back(std::move(t));
   }
-  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                          executor.Execute(session, std::move(tasks)));
-  (void)results;
+  CITUSX_RETURN_IF_ERROR(
+      executor.Execute(session, std::move(tasks)).status());
   table->approx_rows += total;
   engine::QueryResult out;
   out.rows_affected = total;

@@ -1,5 +1,6 @@
 #include "citus/extension.h"
 
+#include <mutex>
 #include <unordered_map>
 
 #include "citus/plancache.h"
@@ -75,9 +76,9 @@ CitusExtension* CitusExtension::Install(
         sql::ColumnDef{"gid", sql::TypeId::kText, true, true, ""});
     // Primary key on gid: recovery lookups and post-commit deletions must
     // stay O(1) as the commit-record heap accumulates slots.
-    auto created = node->catalog().CreateTable(kCommitRecordsTable, schema,
-                                               {"gid"});
-    (void)created;
+    CITUSX_IGNORE_STATUS(
+        node->catalog().CreateTable(kCommitRecordsTable, schema, {"gid"}),
+        "existence checked above; a lost race re-checks on next install");
   }
   ext->StartMaintenanceDaemon();
   return ext;
@@ -134,8 +135,9 @@ void CitusExtension::StartMaintenanceDaemon() {
               ext->config().recovery_poll_interval) {
             last_recovery = sim->now();
             auto session = node.OpenSession();
-            auto r = ext->RecoverTwoPhaseCommits(*session);
-            (void)r;
+            CITUSX_IGNORE_STATUS(
+                ext->RecoverTwoPhaseCommits(*session),
+                "periodic daemon pass; failures retry next round");
             if (ext->pending_cleanup_count() > 0) {
               ext->RunDeferredCleanup(*session);
             }
@@ -163,6 +165,7 @@ std::string CitusExtension::MakeGid(const std::string& dist_txn_id, int seq) {
 }
 
 void CitusExtension::OnConnectionClosed(const std::string& worker) {
+  std::lock_guard<OrderedMutex> guard(pool_mu_);
   auto it = outgoing_.find(worker);
   if (it != outgoing_.end() && it->second > 0) it->second--;
 }
@@ -217,7 +220,10 @@ Result<WorkerConnection*> CitusExtension::GetConnection(
   if (config_.statement_timeout > 0) {
     conn->SetStatementTimeout(config_.statement_timeout);
   }
-  outgoing_[worker]++;
+  {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
+    outgoing_[worker]++;
+  }
   auto wc = std::make_unique<WorkerConnection>();
   wc->conn = std::move(conn);
   wc->worker = worker;
@@ -242,7 +248,10 @@ Result<WorkerConnection*> CitusExtension::TryOpenExtraConnection(
   if (config_.statement_timeout > 0) {
     (*conn)->SetStatementTimeout(config_.statement_timeout);
   }
-  outgoing_[worker]++;
+  {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
+    outgoing_[worker]++;
+  }
   CitusSessionState& state = SessionState(session);
   auto wc = std::make_unique<WorkerConnection>();
   wc->conn = std::move(conn).value();
@@ -274,7 +283,10 @@ void CitusExtension::NoteWorkerUnavailable(const std::string& worker) {
   // Only mark the worker down when it actually is (a single dropped
   // connection must not invalidate every cached plan).
   if (node == nullptr || !node->is_down()) return;
-  if (!down_workers_.insert(worker).second) return;
+  {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
+    if (!down_workers_.insert(worker).second) return;
+  }
   metric_node_down->Inc();
   // Cached distributed plans may route to the dead node; moving the
   // metadata generation drops them lazily, exactly like a shard move.
@@ -282,43 +294,56 @@ void CitusExtension::NoteWorkerUnavailable(const std::string& worker) {
 }
 
 void CitusExtension::NoteWorkerAvailable(const std::string& worker) {
+  std::lock_guard<OrderedMutex> guard(pool_mu_);
   down_workers_.erase(worker);
 }
 
 void CitusExtension::AddDeferredCleanup(const std::string& worker,
                                         std::vector<std::string> tables) {
+  std::lock_guard<OrderedMutex> guard(pool_mu_);
   auto& pending = pending_cleanup_[worker];
   pending.insert(pending.end(), tables.begin(), tables.end());
 }
 
 int CitusExtension::RunDeferredCleanup(engine::Session& session) {
+  // Snapshot under the lock, drop over the network without it (round trips
+  // yield), then fold the survivors back in under the lock.
+  std::map<std::string, std::vector<std::string>> snapshot;
+  {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
+    snapshot = pending_cleanup_;
+  }
   int dropped = 0;
-  for (auto it = pending_cleanup_.begin(); it != pending_cleanup_.end();) {
-    const std::string& worker = it->first;
+  for (auto& [worker, tables] : snapshot) {
     engine::Node* node = directory_->Find(worker);
     if (node == nullptr || node->is_down()) {
-      ++it;
       continue;  // still unreachable; retry next round
     }
     auto conn = directory_->Connect(node_, worker);
-    if (!conn.ok()) {
-      ++it;
-      continue;
-    }
-    std::vector<std::string> remaining;
-    for (const std::string& table : it->second) {
+    if (!conn.ok()) continue;
+    std::vector<std::string> dropped_tables;
+    for (const std::string& table : tables) {
       auto r = (*conn)->Query("DROP TABLE IF EXISTS " + table);
       if (r.ok()) {
         dropped++;
-      } else {
-        remaining.push_back(table);
+        dropped_tables.push_back(table);
       }
     }
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
+    auto it = pending_cleanup_.find(worker);
+    if (it == pending_cleanup_.end()) continue;
+    std::vector<std::string> remaining;
+    for (const std::string& table : it->second) {
+      bool was_dropped = false;
+      for (const std::string& d : dropped_tables) {
+        if (d == table) was_dropped = true;
+      }
+      if (!was_dropped) remaining.push_back(table);
+    }
     if (remaining.empty()) {
-      it = pending_cleanup_.erase(it);
+      pending_cleanup_.erase(it);
     } else {
       it->second = std::move(remaining);
-      ++it;
     }
   }
   return dropped;
@@ -339,12 +364,9 @@ Status CitusExtension::EnsureWorkerTxn(engine::Session& session,
   }
   // One round trip: the id assignment and BEGIN are batched, as the real
   // extension batches assign_distributed_transaction_id with BEGIN.
-  CITUSX_ASSIGN_OR_RETURN(
-      engine::QueryResult r,
-      wc->conn->QueryBatch({"SET citus.distributed_txid = '" +
-                                state.dist_txn_id + "'",
-                            "BEGIN"}));
-  (void)r;
+  auto begin_r = wc->conn->QueryBatch(
+      {"SET citus.distributed_txid = '" + state.dist_txn_id + "'", "BEGIN"});
+  if (!begin_r.ok()) return begin_r.status();
   wc->txn_open = true;
   return Status::OK();
 }

@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "citus/metadata.h"
-#include "engine/node.h"
-#include "engine/session.h"
+#include "common/ordered_mutex.h"
+#include "engine/hooks.h"
 #include "net/cluster.h"
 #include "obs/metrics.h"
 #include "sim/histogram.h"
@@ -137,6 +137,7 @@ class CitusExtension {
 
   /// Total outgoing connections to `worker` from this node.
   int outgoing_connections(const std::string& worker) const {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
     auto it = outgoing_.find(worker);
     return it == outgoing_.end() ? 0 : it->second;
   }
@@ -154,6 +155,7 @@ class CitusExtension {
   /// Clears the down marker after a successful reconnect.
   void NoteWorkerAvailable(const std::string& worker);
   bool IsWorkerMarkedDown(const std::string& worker) const {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
     return down_workers_.count(worker) > 0;
   }
 
@@ -165,6 +167,7 @@ class CitusExtension {
   /// dropped.
   int RunDeferredCleanup(engine::Session& session);
   int pending_cleanup_count() const {
+    std::lock_guard<OrderedMutex> guard(pool_mu_);
     int n = 0;
     for (const auto& [w, tables] : pending_cleanup_) {
       n += static_cast<int>(tables.size());
@@ -260,6 +263,11 @@ class CitusExtension {
   net::NodeDirectory* directory_;
   std::shared_ptr<CitusMetadata> metadata_;
   CitusConfig config_;
+  /// Guards the shared connection counters, down-worker markers, and the
+  /// deferred-cleanup queue — the node-wide pool state shared by every
+  /// session. Never held across a connection open or round trip (both
+  /// yield); callers re-check under the lock after any wait.
+  mutable OrderedMutex pool_mu_{LockRank::kConnectionPool};
   std::map<std::string, int> outgoing_;  // shared connection counters
   uint64_t dist_txn_counter_ = 0;
   /// Distributed transactions this node initiated that are still in flight;

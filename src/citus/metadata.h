@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/status.h"
 #include "common/str.h"
 #include "sql/types.h"
@@ -104,12 +105,14 @@ class CitusMetadata {
   }
 
   CitusTable* Add(CitusTable table) {
-    BumpGeneration();
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    generation_++;
     return &(tables_[table.name] = std::move(table));
   }
 
   void Remove(const std::string& name) {
-    BumpGeneration();
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    generation_++;
     tables_.erase(name);
   }
 
@@ -117,8 +120,14 @@ class CitusMetadata {
   /// cached distributed plan (DDL, create_distributed_table, shard moves,
   /// node add/remove). Plan-cache entries snapshot it and are discarded
   /// when it no longer matches.
-  uint64_t generation() const { return generation_; }
-  void BumpGeneration() { generation_++; }
+  uint64_t generation() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return generation_;
+  }
+  void BumpGeneration() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    generation_++;
+  }
 
   const std::map<std::string, CitusTable>& tables() const { return tables_; }
   std::map<std::string, CitusTable>& mutable_tables() { return tables_; }
@@ -126,8 +135,14 @@ class CitusMetadata {
   /// Worker node names (round-robin shard placement order).
   std::vector<std::string> workers;
 
-  uint64_t NextShardId() { return next_shard_id_++; }
-  int NextColocationId() { return next_colocation_id_++; }
+  uint64_t NextShardId() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return next_shard_id_++;
+  }
+  int NextColocationId() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return next_colocation_id_++;
+  }
 
   /// All tables in a co-location group.
   std::vector<CitusTable*> ColocatedTables(int colocation_id) {
@@ -155,6 +170,13 @@ class CitusMetadata {
   std::map<std::string, DistributedProcedure> procedures;
 
  private:
+  /// Guards the table-map structure, the generation, and the id counters.
+  /// Lookups that hand out CitusTable pointers (Find/Get/tables()) stay
+  /// lock-free: simulated processes are cooperatively scheduled, so readers
+  /// cannot interleave with the locked mutation windows above — the mutex
+  /// makes those windows explicit and rank-ordered (see
+  /// common/ordered_mutex.h).
+  mutable OrderedMutex metadata_mu_{LockRank::kCitusMetadata};
   std::map<std::string, CitusTable> tables_;
   uint64_t next_shard_id_ = 102008;
   int next_colocation_id_ = 1;

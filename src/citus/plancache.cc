@@ -8,7 +8,7 @@
 #include "citus/executor.h"
 #include "citus/planner.h"
 #include "common/str.h"
-#include "engine/planner.h"
+#include "engine/hooks.h"
 #include "sql/deparser.h"
 
 namespace citusx::citus {

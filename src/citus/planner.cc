@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "citus/plancache.h"
-#include "engine/planner.h"
+#include "engine/hooks.h"
 #include "obs/trace.h"
 #include "sql/deparser.h"
 #include "sql/eval.h"
@@ -252,12 +252,7 @@ Result<engine::QueryResult> RunMasterQuery(
     const std::vector<sql::Datum>& params) {
   std::map<std::string, const engine::TempRelation*> temps = {
       {temp_name, &temp}};
-  engine::PlannerInput input;
-  input.catalog = &session.node()->catalog();
-  input.temp_relations = &temps;
-  input.params = &params;
-  engine::ExecContext ctx = session.MakeExecContext(&params);
-  return engine::ExecuteSelect(master, input, ctx);
+  return engine::RunLocalSelect(session, master, params, &temps);
 }
 
 Result<std::vector<std::string>> ShardCreationDdl(engine::Node* node,

@@ -102,8 +102,8 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
   auto rb = src_conn->conn->Query("BEGIN");
   if (!rb.ok()) return abort_move(rb.status());
   auto rollback_and_abort = [&](Status why) -> Status {
-    auto r = src_conn->conn->Query("ROLLBACK");
-    (void)r;
+    CITUSX_IGNORE_STATUS(src_conn->conn->Query("ROLLBACK"),
+                         "move already failing; rollback is best-effort");
     src_conn->txn_open = false;
     return abort_move(std::move(why));
   };
@@ -154,9 +154,11 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
   for (CitusTable* table : tables) {
     uint64_t shard_id =
         table->shards[static_cast<size_t>(shard_index)].shard_id;
-    auto r = src_conn->conn->Query("DROP TABLE IF EXISTS " +
-                                   table->ShardName(shard_id));
-    (void)r;
+    CITUSX_IGNORE_STATUS(
+        src_conn->conn->Query("DROP TABLE IF EXISTS " +
+                              table->ShardName(shard_id)),
+        "old placement cleanup is best-effort; an orphaned shard is "
+        "unreachable once metadata points at the new placement");
   }
   return Status::OK();
 }

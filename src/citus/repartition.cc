@@ -9,7 +9,7 @@
 // is then registered as a temporary reference table so the co-located
 // pushdown planner can finish the job (filters, aggregates, merge step).
 #include "citus/planner.h"
-#include "engine/planner.h"
+#include "engine/hooks.h"
 #include "sql/deparser.h"
 
 namespace citusx::citus {
@@ -121,8 +121,6 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::TryJoinOrderPlan(
     moved = a;
   }
   std::string join_col = FindJoinColumn(sel, *moved, analysis);
-  int64_t moved_bytes = std::max<int64_t>(moved->approx_bytes,
-                                          moved->approx_rows * 64);
   std::set<std::string> kept_workers;
   for (const auto& s : kept->shards) kept_workers.insert(s.placement);
   // Repartition traffic ~= size(moved); broadcast ~= size(moved) * workers.
@@ -130,7 +128,6 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::TryJoinOrderPlan(
   // hashing and works without a join column).
   bool use_repartition = !join_col.empty() && kept_workers.size() > 1 &&
                          moved->approx_rows >= 1000;
-  (void)moved_bytes;
 
   // ---- map phase: read the moved table's shards ----
   AdaptiveExecutor executor(ext_);
@@ -206,8 +203,9 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::TryJoinOrderPlan(
     for (const auto& w : registered->replica_nodes) {
       auto conn = ext_->GetConnection(session, w, {0, -1});
       if (conn.ok()) {
-        auto r = (*conn)->conn->Query("DROP TABLE IF EXISTS " + tmp_shard);
-        (void)r;
+        CITUSX_IGNORE_STATUS(
+            (*conn)->conn->Query("DROP TABLE IF EXISTS " + tmp_shard),
+            "temporary repartition shard; deferred cleanup retries");
       }
     }
     ext_->metadata().Remove(tmp_logical);

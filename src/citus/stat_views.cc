@@ -6,7 +6,7 @@
 
 #include "citus/plancache.h"
 #include "citus/planner.h"
-#include "engine/planner.h"
+#include "engine/hooks.h"
 #include "sim/fault.h"
 
 namespace citusx::citus {
@@ -176,13 +176,9 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
     failures = BuildStatFailures(ext);
     temps[kStatFailures] = &failures;
   }
-  engine::PlannerInput input;
-  input.catalog = &session.node()->catalog();
-  input.temp_relations = &temps;
-  input.params = &params;
-  engine::ExecContext ctx = session.MakeExecContext(&params);
-  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
-                          engine::ExecuteSelect(*stmt.select, input, ctx));
+  CITUSX_ASSIGN_OR_RETURN(
+      engine::QueryResult r,
+      engine::RunLocalSelect(session, *stmt.select, params, &temps));
   return std::optional<engine::QueryResult>(std::move(r));
 }
 

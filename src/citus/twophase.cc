@@ -56,9 +56,10 @@ Status WriteCommitRecord(CitusExtension* ext, engine::Session& session,
 // context; runs post-commit or from the recovery daemon).
 void DeleteCommitRecord(CitusExtension* ext, engine::Session& session,
                         const std::string& gid) {
-  auto r = session.Execute(
-      "DELETE FROM pg_dist_transaction WHERE gid = " + QuoteSqlLiteral(gid));
-  (void)r;
+  CITUSX_IGNORE_STATUS(
+      session.Execute("DELETE FROM pg_dist_transaction WHERE gid = " +
+                      QuoteSqlLiteral(gid)),
+      "commit-record cleanup is best-effort; recovery skips finished gids");
 }
 
 }  // namespace
@@ -136,13 +137,15 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     // Abort everything prepared or still open; the local txn then aborts.
     for (WorkerConnection* wc : writers) {
       if (!wc->prepared_gid.empty()) {
-        auto r = wc->conn->Query("ROLLBACK PREPARED " +
-                                 QuoteSqlLiteral(wc->prepared_gid));
-        (void)r;
+        CITUSX_IGNORE_STATUS(
+            wc->conn->Query("ROLLBACK PREPARED " +
+                            QuoteSqlLiteral(wc->prepared_gid)),
+            "abort path; the recovery daemon retries unreachable workers");
         wc->prepared_gid.clear();
       } else if (wc->txn_open) {
-        auto r = wc->conn->Query("ROLLBACK");
-        (void)r;
+        CITUSX_IGNORE_STATUS(
+            wc->conn->Query("ROLLBACK"),
+            "abort path; a dropped connection aborts the remote txn anyway");
         wc->txn_open = false;
       }
       wc->did_write = false;
@@ -211,15 +214,18 @@ void CitusExtension::PostCommit(engine::Session& session) {
   // Best effort, in parallel: failures are repaired by 2PC recovery.
   // Finalized commit records are garbage-collected lazily by the
   // maintenance daemon, keeping the commit path short (as in real Citus).
-  Status st = ForAllParallel(
-      node_->sim(), prepared, [](WorkerConnection* wc) {
-        auto r = wc->conn->Query("COMMIT PREPARED " +
-                                 QuoteSqlLiteral(wc->prepared_gid));
-        (void)r;
-        wc->prepared_gid.clear();
-        return Status::OK();
-      });
-  (void)st;
+  CITUSX_IGNORE_STATUS(
+      ForAllParallel(node_->sim(), prepared,
+                     [](WorkerConnection* wc) {
+                       CITUSX_IGNORE_STATUS(
+                           wc->conn->Query("COMMIT PREPARED " +
+                                           QuoteSqlLiteral(wc->prepared_gid)),
+                           "commit already decided; the recovery daemon "
+                           "replays COMMIT PREPARED from the commit record");
+                       wc->prepared_gid.clear();
+                       return Status::OK();
+                     }),
+      "per-worker failures handled above; the fan-out itself cannot fail");
   for (auto& [worker, conns] : state.pool) {
     for (auto& wc : conns) {
       wc->txn_open = false;
@@ -240,13 +246,15 @@ void CitusExtension::PostAbort(engine::Session& session) {
   for (auto& [worker, conns] : state.pool) {
     for (auto& wc : conns) {
       if (!wc->prepared_gid.empty()) {
-        auto r = wc->conn->Query("ROLLBACK PREPARED " +
-                                 QuoteSqlLiteral(wc->prepared_gid));
-        (void)r;
+        CITUSX_IGNORE_STATUS(
+            wc->conn->Query("ROLLBACK PREPARED " +
+                            QuoteSqlLiteral(wc->prepared_gid)),
+            "abort path; the recovery daemon retries unreachable workers");
         wc->prepared_gid.clear();
       } else if (wc->txn_open) {
-        auto r = wc->conn->Query("ROLLBACK");
-        (void)r;
+        CITUSX_IGNORE_STATUS(
+            wc->conn->Query("ROLLBACK"),
+            "abort path; a dropped connection aborts the remote txn anyway");
       }
       wc->txn_open = false;
       wc->did_write = false;

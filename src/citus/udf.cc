@@ -53,9 +53,8 @@ Status PropagateShellTable(CitusExtension* ext, engine::Session& session,
     t.is_write = true;
     tasks.push_back(std::move(t));
   }
-  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                          executor.Execute(session, std::move(tasks)));
-  (void)results;
+  CITUSX_RETURN_IF_ERROR(
+      executor.Execute(session, std::move(tasks)).status());
   return Status::OK();
 }
 
@@ -79,9 +78,8 @@ Status CreateShards(CitusExtension* ext, engine::Session& session,
       tasks.push_back(std::move(t));
     }
   }
-  CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                          executor.Execute(session, std::move(tasks)));
-  (void)results;
+  CITUSX_RETURN_IF_ERROR(
+      executor.Execute(session, std::move(tasks)).status());
   return Status::OK();
 }
 
@@ -106,9 +104,8 @@ Status MigrateExistingRows(CitusExtension* ext, engine::Session& session,
   }
   sql::CopyStmt copy;
   copy.table = table->name;
-  CITUSX_ASSIGN_OR_RETURN(std::optional<engine::QueryResult> copied,
-                          ProcessDistributedCopy(ext, session, copy, rows));
-  (void)copied;
+  CITUSX_RETURN_IF_ERROR(
+      ProcessDistributedCopy(ext, session, copy, rows).status());
   shell->heap->Truncate();
   for (auto& idx : shell->indexes) {
     if (idx->btree) idx->btree->Truncate();
@@ -273,9 +270,8 @@ void CitusExtension::RegisterUdfs() {
         tasks.push_back(std::move(t));
       }
     }
-    CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                            executor.Execute(session, std::move(tasks)));
-    (void)results;
+    CITUSX_RETURN_IF_ERROR(
+        executor.Execute(session, std::move(tasks)).status());
     CITUSX_RETURN_IF_ERROR(MigrateExistingRows(ext, session, stored));
     return sql::Datum::Null();
   };
@@ -363,9 +359,8 @@ void CitusExtension::RegisterUdfs() {
           t.is_write = true;
           tasks.push_back(std::move(t));
         }
-        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                                executor.Execute(session, std::move(tasks)));
-        (void)results;
+        CITUSX_RETURN_IF_ERROR(
+            executor.Execute(session, std::move(tasks)).status());
         // Backfill the replica from the coordinator's replica shard.
         std::string shard = table.ShardName(table.shards[0].shard_id);
         engine::TableInfo* local = ext->node()->catalog().Find(shard);
@@ -385,9 +380,8 @@ void CitusExtension::RegisterUdfs() {
           }
           CITUSX_ASSIGN_OR_RETURN(WorkerConnection * wc,
                                   ext->GetConnection(session, name, {0, -1}));
-          CITUSX_ASSIGN_OR_RETURN(engine::QueryResult copied,
-                                  wc->conn->CopyIn(shard, {}, std::move(rows)));
-          (void)copied;
+          CITUSX_RETURN_IF_ERROR(
+              wc->conn->CopyIn(shard, {}, std::move(rows)).status());
         }
         table.replica_nodes.push_back(name);
       }
@@ -444,9 +438,8 @@ void CitusExtension::RegisterUdfs() {
         t.is_write = true;
         std::vector<Task> tasks;
         tasks.push_back(std::move(t));
-        CITUSX_ASSIGN_OR_RETURN(std::vector<engine::QueryResult> results,
-                                executor.Execute(session, std::move(tasks)));
-        (void)results;
+        CITUSX_RETURN_IF_ERROR(
+            executor.Execute(session, std::move(tasks)).status());
       }
     }
     for (auto it = workers.begin(); it != workers.end();) {
@@ -463,8 +456,6 @@ void CitusExtension::RegisterUdfs() {
   udfs["citus_stat_statements_reset"] =
       [ext](engine::Session& session,
             const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
-    (void)session;
-    (void)args;
     ext->ResetStatStatements();
     return sql::Datum::Null();
   };

@@ -1,0 +1,68 @@
+// Lock-rank-ordered mutex: the project's only sanctioned mutual-exclusion
+// primitive (cituslint rule `lock-rank` bans raw std::mutex outside this
+// header).
+//
+// Every OrderedMutex is declared with a rank from the global table below,
+// and a thread may only acquire mutexes in strictly increasing rank order.
+// That makes cross-subsystem lock cycles impossible by construction: rank
+// inversions are rejected statically by cituslint (lexically nested guards)
+// and dynamically by a per-thread held-rank stack that aborts on violation.
+// This is the static/structural complement to the *distributed* deadlock
+// detector, which handles data locks held across nodes (paper §3.7.3).
+//
+// Mutexes here protect in-process registries and scheduler state. Simulated
+// processes are cooperatively scheduled (one runs at a time), so the hard
+// rule is: never hold an OrderedMutex across a simulation yield
+// (sim::Simulation::Block/WaitFor/WaitUntil) — a parked owner would wedge
+// the next process that touches the same mutex. Keep critical sections to
+// pure memory manipulation.
+#ifndef CITUSX_COMMON_ORDERED_MUTEX_H_
+#define CITUSX_COMMON_ORDERED_MUTEX_H_
+
+#include <mutex>
+
+namespace citusx {
+
+/// The global lock-rank table, in acquisition order: holding a mutex of
+/// rank r, a thread may only acquire mutexes of rank > r. Outer
+/// (coarse, extension-level) locks rank low; inner (leaf, scheduler-level)
+/// locks rank high. cituslint parses this enum — keep one enumerator per
+/// line with an explicit value.
+enum class LockRank : int {
+  kConnectionPool = 10,   // citus shared connection counters / down markers
+  kCatalog = 20,          // engine per-node catalog table registry
+  kCitusMetadata = 30,    // citus distributed metadata (pg_dist_*)
+  kLockTable = 40,        // engine lock manager's lock table
+  kMetricsRegistry = 50,  // obs metrics name -> handle maps
+  kTraceCollector = 60,   // obs distributed trace span buffer
+  kSimScheduler = 70,     // simulation kernel: event queue + baton handoff
+};
+
+/// Short human-readable name ("ConnectionPool", ...).
+const char* LockRankName(LockRank rank);
+
+/// A std::mutex that participates in the global rank order. Satisfies
+/// BasicLockable, so it composes with std::lock_guard, std::unique_lock,
+/// and std::condition_variable_any.
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(LockRank rank) : rank_(rank) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  /// Aborts the process with a diagnostic if the calling thread already
+  /// holds a mutex of equal or higher rank.
+  void lock();
+  void unlock();
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+};
+
+}  // namespace citusx
+
+#endif  // CITUSX_COMMON_ORDERED_MUTEX_H_

@@ -50,6 +50,70 @@ const char* ErrorClassName(ErrorClass ec) {
   return "Unknown";
 }
 
+const char* SqlState(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "00000";  // successful_completion
+    case StatusCode::kInvalidArgument:
+      return "42601";  // syntax_error
+    case StatusCode::kNotFound:
+      return "42P01";  // undefined_table
+    case StatusCode::kAlreadyExists:
+      return "42P07";  // duplicate_table
+    case StatusCode::kNotSupported:
+      return "0A000";  // feature_not_supported
+    case StatusCode::kInternal:
+      return "XX000";  // internal_error
+    case StatusCode::kAborted:
+      return "40001";  // serialization_failure
+    case StatusCode::kDeadlock:
+      return "40P01";  // deadlock_detected
+    case StatusCode::kUnavailable:
+      return "08001";  // sqlclient_unable_to_establish_sqlconnection
+    case StatusCode::kResourceExhausted:
+      return "53300";  // too_many_connections
+    case StatusCode::kCancelled:
+      return "57014";  // query_canceled
+    case StatusCode::kIoError:
+      return "58030";  // io_error
+    case StatusCode::kConnectionLost:
+      return "08006";  // connection_failure
+    case StatusCode::kTimeout:
+      return "57P05";  // idle_session_timeout (statement deadline)
+  }
+  return "XX000";
+}
+
+StatusCode StatusCodeFromSqlState(const std::string& sqlstate) {
+  if (sqlstate == "00000") return StatusCode::kOk;
+  if (sqlstate == "42601") return StatusCode::kInvalidArgument;
+  if (sqlstate == "42P01") return StatusCode::kNotFound;
+  if (sqlstate == "42P07") return StatusCode::kAlreadyExists;
+  if (sqlstate == "0A000") return StatusCode::kNotSupported;
+  if (sqlstate == "40001") return StatusCode::kAborted;
+  if (sqlstate == "40P01") return StatusCode::kDeadlock;
+  if (sqlstate == "08001") return StatusCode::kUnavailable;
+  if (sqlstate == "53300") return StatusCode::kResourceExhausted;
+  if (sqlstate == "57014") return StatusCode::kCancelled;
+  if (sqlstate == "58030") return StatusCode::kIoError;
+  if (sqlstate == "08006") return StatusCode::kConnectionLost;
+  if (sqlstate == "57P05") return StatusCode::kTimeout;
+  // Class-level fallbacks: an unrecognized code in a known class keeps the
+  // class's transport-vs-SQL handling. 08xxx is a connection exception
+  // (transport, retryable on a fresh connection); 40xxx is a transaction
+  // rollback (retryable in a new transaction).
+  bool wellformed = sqlstate.size() == 5;
+  for (char ch : sqlstate) {
+    wellformed &= (ch >= '0' && ch <= '9') || (ch >= 'A' && ch <= 'Z');
+  }
+  if (wellformed) {
+    if (sqlstate.compare(0, 2, "08") == 0) return StatusCode::kConnectionLost;
+    if (sqlstate.compare(0, 2, "40") == 0) return StatusCode::kAborted;
+  }
+  // Unknown or malformed: treat as an internal (fatal) error.
+  return StatusCode::kInternal;
+}
+
 ErrorClass Status::error_class() const {
   switch (code_) {
     case StatusCode::kOk:

@@ -45,8 +45,23 @@ enum class ErrorClass {
 /// Returns a short human-readable name ("RetryableTransient", ...).
 const char* ErrorClassName(ErrorClass ec);
 
+/// PostgreSQL-style five-character SQLSTATE for a status code ("00000" for
+/// OK, "40P01" for deadlock, "08006" for a lost connection, ...). Used when
+/// surfacing errors through SQL-facing views.
+const char* SqlState(StatusCode code);
+
+/// Maps a SQLSTATE back to the status code a distributed caller should
+/// handle it as. Unknown, malformed, or empty SQLSTATEs map to kInternal
+/// (and therefore classify as fatal): an error we cannot identify must not
+/// be retried blindly.
+StatusCode StatusCodeFromSqlState(const std::string& sqlstate);
+
 /// A success-or-error value. Cheap to copy in the OK case.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how 2PC recovery bugs are
+/// born (see PAPERS.md on SSI in PostgreSQL) — every call site must either
+/// handle the error or discard it explicitly with CITUSX_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -120,7 +135,7 @@ class Status {
 
 /// A value-or-error. Holds T on success, Status otherwise.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
@@ -158,6 +173,16 @@ class Result {
   Status status_;
   std::optional<T> value_;
 };
+
+// Discard a Status/Result on purpose, with a greppable reason. The only
+// sanctioned way to drop a [[nodiscard]] value (cituslint rule
+// `status-discard` bans ad-hoc `(void)` casts): the reason string documents
+// why losing the error is safe at this exact call site.
+#define CITUSX_IGNORE_STATUS(expr, reason)                        \
+  do {                                                            \
+    static_assert(sizeof(reason) > 1, "give a non-empty reason"); \
+    [[maybe_unused]] const auto& citusx_ignored_ = (expr);        \
+  } while (0)
 
 // Propagate errors up the call stack.
 #define CITUSX_RETURN_IF_ERROR(expr)             \

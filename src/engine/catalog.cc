@@ -1,10 +1,13 @@
 #include "engine/catalog.h"
 
+#include <mutex>
+
 namespace citusx::engine {
 
 Result<TableInfo*> Catalog::CreateTable(
     const std::string& name, sql::Schema schema,
     const std::vector<std::string>& primary_key, bool columnar) {
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
   }
@@ -15,7 +18,7 @@ Result<TableInfo*> Catalog::CreateTable(
   }
   auto info = std::make_unique<TableInfo>();
   info->name = name;
-  info->oid = NextOid();
+  info->oid = next_oid_++;
   info->primary_key = primary_key;
   if (columnar) {
     if (!primary_key.empty()) {
@@ -30,8 +33,8 @@ Result<TableInfo*> Catalog::CreateTable(
   TableInfo* ptr = info.get();
   tables_[name] = std::move(info);
   if (!primary_key.empty()) {
-    auto idx = CreateBtreeIndex(name, name + "_pkey", primary_key,
-                                /*unique=*/true);
+    auto idx = CreateBtreeIndexLocked(name, name + "_pkey", primary_key,
+                                      /*unique=*/true);
     if (!idx.ok()) {
       tables_.erase(name);
       return idx.status();
@@ -44,7 +47,17 @@ Result<TableInfo*> Catalog::CreateTable(
 Result<IndexInfo*> Catalog::CreateBtreeIndex(
     const std::string& table, const std::string& index_name,
     const std::vector<std::string>& columns, bool unique) {
-  CITUSX_ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
+  return CreateBtreeIndexLocked(table, index_name, columns, unique);
+}
+
+Result<IndexInfo*> Catalog::CreateBtreeIndexLocked(
+    const std::string& table, const std::string& index_name,
+    const std::vector<std::string>& columns, bool unique) {
+  TableInfo* info = FindLocked(table);
+  if (info == nullptr) {
+    return Status::NotFound("relation \"" + table + "\" does not exist");
+  }
   if (info->is_columnar()) {
     return Status::NotSupported("columnar tables do not support indexes");
   }
@@ -65,7 +78,7 @@ Result<IndexInfo*> Catalog::CreateBtreeIndex(
   idx->name = index_name;
   idx->unique = unique;
   idx->column_names = columns;
-  idx->btree = std::make_unique<storage::BtreeIndex>(NextOid(), key_cols,
+  idx->btree = std::make_unique<storage::BtreeIndex>(next_oid_++, key_cols,
                                                      unique, pool_);
   IndexInfo* ptr = idx.get();
   info->indexes.push_back(std::move(idx));
@@ -75,7 +88,11 @@ Result<IndexInfo*> Catalog::CreateBtreeIndex(
 Result<IndexInfo*> Catalog::CreateGinIndex(const std::string& table,
                                            const std::string& index_name,
                                            sql::ExprPtr expression) {
-  CITUSX_ASSIGN_OR_RETURN(TableInfo * info, Get(table));
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
+  TableInfo* info = FindLocked(table);
+  if (info == nullptr) {
+    return Status::NotFound("relation \"" + table + "\" does not exist");
+  }
   if (info->is_columnar()) {
     return Status::NotSupported("columnar tables do not support indexes");
   }
@@ -86,7 +103,7 @@ Result<IndexInfo*> Catalog::CreateGinIndex(const std::string& table,
   }
   auto idx = std::make_unique<IndexInfo>();
   idx->name = index_name;
-  idx->gin = std::make_unique<storage::GinTrgmIndex>(NextOid(), pool_);
+  idx->gin = std::make_unique<storage::GinTrgmIndex>(next_oid_++, pool_);
   idx->expression = std::move(expression);
   IndexInfo* ptr = idx.get();
   info->indexes.push_back(std::move(idx));
@@ -94,32 +111,45 @@ Result<IndexInfo*> Catalog::CreateGinIndex(const std::string& table,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("table does not exist: " + name);
+  // Detach under the lock; release storage outside it (pure memory today,
+  // but keeps the critical section minimal).
+  std::unique_ptr<TableInfo> detached;
+  {
+    std::lock_guard<OrderedMutex> guard(catalog_mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table does not exist: " + name);
+    }
+    detached = std::move(it->second);
+    tables_.erase(it);
   }
-  if (it->second->heap != nullptr) it->second->heap->Truncate();
-  if (it->second->columnar != nullptr) it->second->columnar->Truncate();
-  for (auto& idx : it->second->indexes) {
+  if (detached->heap != nullptr) detached->heap->Truncate();
+  if (detached->columnar != nullptr) detached->columnar->Truncate();
+  for (auto& idx : detached->indexes) {
     if (idx->btree) idx->btree->Truncate();
     if (idx->gin) idx->gin->Truncate();
   }
-  tables_.erase(it);
   return Status::OK();
 }
 
-TableInfo* Catalog::Find(const std::string& name) {
+TableInfo* Catalog::FindLocked(const std::string& name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
+}
+
+TableInfo* Catalog::Find(const std::string& name) {
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
+  return FindLocked(name);
 }
 
 const TableInfo* Catalog::Find(const std::string& name) const {
-  auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
+  return FindLocked(name);
 }
 
 Result<TableInfo*> Catalog::Get(const std::string& name) {
-  TableInfo* info = Find(name);
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
+  TableInfo* info = FindLocked(name);
   if (info == nullptr) {
     return Status::NotFound("relation \"" + name + "\" does not exist");
   }
@@ -127,6 +157,7 @@ Result<TableInfo*> Catalog::Get(const std::string& name) {
 }
 
 std::vector<TableInfo*> Catalog::AllTables() {
+  std::lock_guard<OrderedMutex> guard(catalog_mu_);
   std::vector<TableInfo*> out;
   for (auto& [name, info] : tables_) out.push_back(info.get());
   return out;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/status.h"
 #include "sql/ast.h"
 #include "storage/columnar.h"
@@ -72,9 +73,22 @@ class Catalog {
 
   std::vector<TableInfo*> AllTables();
 
-  uint64_t NextOid() { return next_oid_++; }
+  uint64_t NextOid() {
+    std::lock_guard<OrderedMutex> guard(catalog_mu_);
+    return next_oid_++;
+  }
 
  private:
+  TableInfo* FindLocked(const std::string& name) const;
+  Result<IndexInfo*> CreateBtreeIndexLocked(
+      const std::string& table, const std::string& index_name,
+      const std::vector<std::string>& columns, bool unique);
+
+  /// Guards the table registry and the oid counter — not row data, which is
+  /// protected by MVCC plus the lock manager. Critical sections are pure
+  /// memory manipulation (no simulated I/O), so the mutex is never held
+  /// across a simulation yield.
+  mutable OrderedMutex catalog_mu_{LockRank::kCatalog};
   storage::BufferPool* pool_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
   uint64_t next_oid_ = 1000;

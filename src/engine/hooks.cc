@@ -1,0 +1,19 @@
+#include "engine/hooks.h"
+
+#include "engine/planner.h"
+
+namespace citusx::engine {
+
+Result<QueryResult> RunLocalSelect(
+    Session& session, const sql::SelectStmt& stmt,
+    const std::vector<sql::Datum>& params,
+    const std::map<std::string, const TempRelation*>* temp_relations) {
+  PlannerInput input;
+  input.catalog = &session.node()->catalog();
+  input.temp_relations = temp_relations;
+  input.params = &params;
+  ExecContext ctx = session.MakeExecContext(&params);
+  return ExecuteSelect(stmt, input, ctx);
+}
+
+}  // namespace citusx::engine

@@ -71,6 +71,38 @@ struct ExtensionHooks {
       background_workers;
 };
 
+// ---------------------------------------------------------------------------
+// Extension support API.
+//
+// Everything an extension may call back into the engine for lives here; the
+// Citus layer includes engine/hooks.h and nothing else from engine/ (the
+// layering rule is enforced by tools/cituslint). When an extension needs a
+// new engine capability, extend this surface rather than reaching into
+// engine internals.
+
+/// Split an expression into top-level AND conjuncts.
+void SplitConjuncts(const sql::ExprPtr& e, std::vector<sql::ExprPtr>* out);
+
+/// Structural expression equality (by deparse text).
+bool ExprEquals(const sql::ExprPtr& a, const sql::ExprPtr& b);
+
+/// Plan and run a SELECT against the local engine inside the session's
+/// current transaction. `temp_relations` (optional) are in-memory relations
+/// resolvable by name before the catalog — how extensions execute a "master
+/// query" over gathered intermediate results (pg: reading a tuplestore
+/// behind a scan node).
+Result<QueryResult> RunLocalSelect(
+    Session& session, const sql::SelectStmt& stmt,
+    const std::vector<sql::Datum>& params,
+    const std::map<std::string, const TempRelation*>* temp_relations = nullptr);
+
 }  // namespace citusx::engine
+
+// The Session and Node surfaces are part of the extension-visible API: every
+// hook receives a Session&, and background workers receive a Node&. Pulled in
+// at the end (not the top) because engine/node.h itself includes this header
+// — Node holds an ExtensionHooks by value, so the struct definition above
+// must come first on that inclusion path.
+#include "engine/session.h"  // also provides engine/node.h
 
 #endif  // CITUSX_ENGINE_HOOKS_H_

@@ -1,5 +1,7 @@
 #include "engine/locks.h"
 
+#include <mutex>
+
 namespace citusx::engine {
 
 bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
@@ -14,27 +16,31 @@ bool LockManager::CanGrantLocked(const LockState& state, TxnId txn,
 }
 
 Status LockManager::Acquire(const LockTag& tag, TxnId txn, LockMode mode) {
-  LockState& state = locks_[tag];
-  auto held = state.holders.find(txn);
-  if (held != state.holders.end()) {
-    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
-      return Status::OK();  // already strong enough
+  std::shared_ptr<Waiter> waiter;
+  {
+    std::lock_guard<OrderedMutex> guard(lock_table_mu_);
+    LockState& state = locks_[tag];
+    auto held = state.holders.find(txn);
+    if (held != state.holders.end()) {
+      if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+        return Status::OK();  // already strong enough
+      }
+      // Upgrade request falls through to the wait path below.
     }
-    // Upgrade request falls through to the wait path below.
+    // Fairness: join the queue if anyone is already waiting, even if the
+    // lock is momentarily free (prevents starvation of exclusive waiters).
+    if (state.queue.empty() && CanGrantLocked(state, txn, mode)) {
+      bool first_grant = state.holders.find(txn) == state.holders.end();
+      state.holders[txn] = mode;
+      if (first_grant) held_by_txn_[txn].push_back(tag);
+      return Status::OK();
+    }
+    waiter = std::make_shared<Waiter>();
+    waiter->txn = txn;
+    waiter->mode = mode;
+    waiter->process = sim::Simulation::Current();
+    state.queue.push_back(waiter);
   }
-  // Fairness: join the queue if anyone is already waiting, even if the lock
-  // is momentarily free (prevents starvation of exclusive waiters).
-  if (state.queue.empty() && CanGrantLocked(state, txn, mode)) {
-    bool first_grant = state.holders.find(txn) == state.holders.end();
-    state.holders[txn] = mode;
-    if (first_grant) held_by_txn_[txn].push_back(tag);
-    return Status::OK();
-  }
-  auto waiter = std::make_shared<Waiter>();
-  waiter->txn = txn;
-  waiter->mode = mode;
-  waiter->process = sim::Simulation::Current();
-  state.queue.push_back(waiter);
   if (waits_metric_ != nullptr) waits_metric_->Inc();
   const sim::Time wait_start = sim_->now();
   auto record_wait = [&] {
@@ -45,6 +51,7 @@ Status LockManager::Acquire(const LockTag& tag, TxnId txn, LockMode mode) {
   for (;;) {
     if (!sim_->Block()) {
       // Simulation shutdown: drop out of the queue.
+      std::lock_guard<OrderedMutex> guard(lock_table_mu_);
       auto& q = locks_[tag].queue;
       for (auto it = q.begin(); it != q.end(); ++it) {
         if (it->get() == waiter.get()) {
@@ -54,6 +61,7 @@ Status LockManager::Acquire(const LockTag& tag, TxnId txn, LockMode mode) {
       }
       return Status::Cancelled("simulation stopping");
     }
+    std::lock_guard<OrderedMutex> guard(lock_table_mu_);
     if (waiter->cancelled) {
       record_wait();
       return Status::Deadlock("canceling statement due to deadlock");
@@ -85,6 +93,7 @@ void LockManager::GrantWaiters(LockState* state) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<OrderedMutex> guard(lock_table_mu_);
   auto it = held_by_txn_.find(txn);
   if (it == held_by_txn_.end()) return;
   std::vector<LockTag> tags = std::move(it->second);
@@ -101,6 +110,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 bool LockManager::CancelWaiter(TxnId txn) {
+  std::lock_guard<OrderedMutex> guard(lock_table_mu_);
   for (auto& [tag, state] : locks_) {
     for (auto it = state.queue.begin(); it != state.queue.end(); ++it) {
       if ((*it)->txn == txn && !(*it)->granted && !(*it)->cancelled) {
@@ -117,6 +127,7 @@ bool LockManager::CancelWaiter(TxnId txn) {
 }
 
 std::vector<WaitEdge> LockManager::WaitEdges() const {
+  std::lock_guard<OrderedMutex> guard(lock_table_mu_);
   std::vector<WaitEdge> edges;
   for (const auto& [tag, state] : locks_) {
     for (const auto& w : state.queue) {
@@ -137,6 +148,7 @@ std::vector<WaitEdge> LockManager::WaitEdges() const {
 }
 
 bool LockManager::IsWaiting(TxnId txn) const {
+  std::lock_guard<OrderedMutex> guard(lock_table_mu_);
   for (const auto& [tag, state] : locks_) {
     for (const auto& w : state.queue) {
       if (w->txn == txn && !w->granted && !w->cancelled) return true;
@@ -146,6 +158,7 @@ bool LockManager::IsWaiting(TxnId txn) const {
 }
 
 int64_t LockManager::locks_held() const {
+  std::lock_guard<OrderedMutex> guard(lock_table_mu_);
   int64_t n = 0;
   for (const auto& [tag, state] : locks_) {
     n += static_cast<int64_t>(state.holders.size());

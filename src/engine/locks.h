@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "sim/simulation.h"
@@ -96,6 +97,10 @@ class LockManager {
   void GrantWaiters(LockState* state);
 
   sim::Simulation* sim_;
+  /// Guards locks_ and held_by_txn_ (plus the Waiter flags reachable from
+  /// them). Never held across a simulation yield: Acquire drops it before
+  /// blocking and re-takes it to inspect its waiter entry.
+  mutable OrderedMutex lock_table_mu_{LockRank::kLockTable};
   std::unordered_map<LockTag, LockState, LockTagHash> locks_;
   std::unordered_map<TxnId, std::vector<LockTag>> held_by_txn_;
   obs::Counter* waits_metric_ = nullptr;

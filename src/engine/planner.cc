@@ -1,5 +1,7 @@
 #include "engine/planner.h"
 
+#include "engine/hooks.h"
+
 #include <algorithm>
 #include <set>
 
@@ -211,14 +213,6 @@ Result<ExecNodePtr> BuildScan(TableInfo* table, const Scope& scope,
       ranges.push_back(RangeCond{slot, val_side, effective, i});
     }
   }
-
-  auto residual_without = [&](const std::set<size_t>& used) {
-    std::vector<ExprPtr> rest;
-    for (size_t i = 0; i < conjuncts.size(); i++) {
-      if (used.count(i) == 0) rest.push_back(conjuncts[i]);
-    }
-    return AndAll(rest);
-  };
 
   if (!table->is_columnar()) {
     // 1) Longest equality prefix over any B-tree index (unique first).
@@ -585,7 +579,6 @@ Status SelectPlanner::RewriteForAgg(const ExprPtr& e, const Scope& input_scope,
       spec.arg = e->args[0];
     }
     // Dedupe identical aggregate calls.
-    std::string repr = sql::DeparseExpr(*e);
     int found = -1;
     for (size_t i = 0; i < aggs->size(); i++) {
       std::string other =
@@ -604,7 +597,6 @@ Status SelectPlanner::RewriteForAgg(const ExprPtr& e, const Scope& input_scope,
       found = static_cast<int>(aggs->size()) - 1;
     }
     e->slot = static_cast<int>(bound_groups.size()) + found;
-    (void)repr;
     return Status::OK();
   }
   if (e->kind == ExprKind::kColumnRef) {
@@ -1140,8 +1132,6 @@ Result<ExecNodePtr> PlanDmlScan(TableInfo* table, const sql::ExprPtr& where,
   // (BuildScan is file-local to the planner; replicate minimal logic by
   // planning through PlanSelect is not possible -- instead we expose the
   // needed behaviour with a direct scan.)
-  (void)input;
-  (void)ctx;
   // Index selection: equality on any btree prefix.
   for (const auto& idx : table->indexes) {
     if (idx->btree == nullptr) continue;

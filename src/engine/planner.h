@@ -45,12 +45,6 @@ Result<QueryResult> ExecuteDelete(const sql::DeleteStmt& stmt,
 Result<QueryResult> ExplainStatement(const sql::Statement& stmt,
                                      const PlannerInput& input);
 
-/// Split an expression into top-level AND conjuncts.
-void SplitConjuncts(const sql::ExprPtr& e, std::vector<sql::ExprPtr>* out);
-
-/// Structural expression equality (by deparse text).
-bool ExprEquals(const sql::ExprPtr& a, const sql::ExprPtr& b);
-
 /// Insert one row (already in schema order/types) with coercion, defaults
 /// applied by the caller. Exposed for COPY.
 Status CoerceRowToSchema(const sql::Schema& schema, sql::Row* row);

@@ -1,6 +1,7 @@
 #include "engine/session.h"
 
 #include "common/str.h"
+#include "engine/planner.h"
 #include "sql/deparser.h"
 #include "sql/parser.h"
 
@@ -550,11 +551,10 @@ Result<QueryResult> Session::ExecuteUtility(const sql::Statement& stmt) {
         bool columnar = ct.access_method == "columnar" ||
                         GetVar("citusx.default_table_access_method") ==
                             "columnar";
-        CITUSX_ASSIGN_OR_RETURN(
-            TableInfo * table,
-            node_->catalog().CreateTable(ct.table, ct.schema, ct.primary_key,
-                                         columnar));
-        (void)table;
+        CITUSX_RETURN_IF_ERROR(node_->catalog()
+                                   .CreateTable(ct.table, ct.schema,
+                                                ct.primary_key, columnar)
+                                   .status());
         result.command_tag = "CREATE TABLE";
         return result;
       }

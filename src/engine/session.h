@@ -11,7 +11,6 @@
 #include "common/rng.h"
 #include "engine/exec.h"
 #include "engine/node.h"
-#include "engine/planner.h"
 
 namespace citusx::engine {
 

@@ -5,28 +5,28 @@
 namespace citusx::obs {
 
 Counter* Metrics::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(metrics_mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Metrics::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(metrics_mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* Metrics::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(metrics_mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::vector<MetricSample> Metrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(metrics_mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
@@ -62,7 +62,7 @@ std::vector<MetricSample> Metrics::Snapshot() const {
 }
 
 int64_t Metrics::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(metrics_mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }

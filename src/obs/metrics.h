@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "sim/histogram.h"
 
 namespace citusx::obs {
@@ -81,7 +81,8 @@ class Metrics {
   int64_t CounterValue(const std::string& name) const;
 
  private:
-  mutable std::mutex mu_;  // guards the maps, not the metric values
+  // Guards the maps, not the metric values.
+  mutable OrderedMutex metrics_mu_{LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -6,7 +6,7 @@
 namespace citusx::obs {
 
 TraceId TraceCollector::NewTraceId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   last_trace_ = next_id_++;
   return last_trace_;
 }
@@ -14,7 +14,7 @@ TraceId TraceCollector::NewTraceId() {
 SpanId TraceCollector::StartSpan(TraceId trace, SpanId parent,
                                  std::string name, std::string node,
                                  sim::Time now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   SpanId id = next_id_++;
   Span& span = spans_[id];
   span.id = id;
@@ -29,25 +29,25 @@ SpanId TraceCollector::StartSpan(TraceId trace, SpanId parent,
 
 void TraceCollector::SetAttr(SpanId span, const std::string& key,
                              std::string value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   auto it = spans_.find(span);
   if (it != spans_.end()) it->second.attrs[key] = std::move(value);
 }
 
 void TraceCollector::SetRows(SpanId span, int64_t rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   auto it = spans_.find(span);
   if (it != spans_.end()) it->second.rows = rows;
 }
 
 void TraceCollector::EndSpan(SpanId span, sim::Time now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   auto it = spans_.find(span);
   if (it != spans_.end()) it->second.end = now;
 }
 
 std::vector<Span> TraceCollector::TraceSpans(TraceId trace) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   std::vector<Span> out;
   for (const auto& [id, span] : spans_) {
     if (span.trace_id == trace) out.push_back(span);
@@ -59,12 +59,12 @@ std::vector<Span> TraceCollector::TraceSpans(TraceId trace) const {
 }
 
 TraceId TraceCollector::last_trace_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   return last_trace_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(trace_mu_);
   spans_.clear();
 }
 

@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "sim/simulation.h"
 
 namespace citusx::obs {
@@ -64,7 +64,7 @@ class TraceCollector {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable OrderedMutex trace_mu_{LockRank::kTraceCollector};
   uint64_t next_id_ = 1;
   TraceId last_trace_ = 0;
   std::map<SpanId, Span> spans_;

@@ -23,13 +23,13 @@ FaultInjector& Simulation::faults() {
 }
 
 Time Simulation::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(sched_mu_);
   return now_;
 }
 
 Process* Simulation::Spawn(std::string name, std::function<void()> fn,
                            bool daemon) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(sched_mu_);
   assert(!shutdown_done_ && "Spawn after Shutdown");
   // Reap finished processes: their threads have exited (or are about to);
   // joining here bounds thread and memory usage for workloads that spawn a
@@ -57,12 +57,12 @@ Process* Simulation::Spawn(std::string name, std::function<void()> fn,
 void Simulation::ProcessMain(Process* p, std::function<void()> fn) {
   g_current_process = p;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<OrderedMutex> lock(sched_mu_);
     while (running_ != p) p->cv_.wait(lock);
   }
   if (!p->cancelled_) fn();
   // Process exit: hand the baton onward.
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   p->state_ = Process::State::kDone;
   running_ = nullptr;
   bool stop_dispatch = !stopping_ && AllWorkersDoneLocked();
@@ -93,7 +93,7 @@ bool Simulation::DispatchNextLocked() {
   return true;
 }
 
-bool Simulation::YieldLocked(std::unique_lock<std::mutex>& lock,
+bool Simulation::YieldLocked(std::unique_lock<OrderedMutex>& lock,
                              Process* self) {
   running_ = nullptr;
   bool stop_dispatch = !stopping_ && AllWorkersDoneLocked();
@@ -106,7 +106,7 @@ bool Simulation::YieldLocked(std::unique_lock<std::mutex>& lock,
 bool Simulation::WaitUntil(Time t) {
   Process* self = Current();
   assert(self != nullptr && "WaitUntil outside a simulated process");
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   if (self->cancelled_) return false;
   self->state_ = Process::State::kReady;
   EnqueueLocked(self, t < now_ ? now_ : t);
@@ -114,7 +114,7 @@ bool Simulation::WaitUntil(Time t) {
 }
 
 bool Simulation::WaitFor(Time d) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   Process* self = Current();
   assert(self != nullptr && "WaitFor outside a simulated process");
   if (self->cancelled_) return false;
@@ -126,21 +126,21 @@ bool Simulation::WaitFor(Time d) {
 bool Simulation::Block() {
   Process* self = Current();
   assert(self != nullptr && "Block outside a simulated process");
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   if (self->cancelled_) return false;
   self->state_ = Process::State::kBlocked;
   return YieldLocked(lock, self);
 }
 
 void Simulation::Wake(Process* p) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(sched_mu_);
   if (p->state_ != Process::State::kBlocked) return;
   p->state_ = Process::State::kReady;
   EnqueueLocked(p, now_);
 }
 
 void Simulation::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   for (;;) {
     if (running_ == nullptr) {
       if (AllWorkersDoneLocked()) return;
@@ -164,9 +164,9 @@ void Simulation::Run() {
 }
 
 void Simulation::Shutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<OrderedMutex> lock(sched_mu_);
   if (shutdown_done_) return;
-  stopping_ = true;
+  stopping_.store(true, std::memory_order_release);
   for (const auto& p : processes_) {
     if (p->state_ == Process::State::kDone) continue;
     p->cancelled_ = true;

@@ -14,15 +14,17 @@
 #ifndef CITUSX_SIM_SIMULATION_H_
 #define CITUSX_SIM_SIMULATION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/ordered_mutex.h"
 
 namespace citusx::sim {
 
@@ -59,7 +61,7 @@ class Process {
   bool daemon_;
   State state_ = State::kReady;
   bool cancelled_ = false;
-  std::condition_variable cv_;
+  std::condition_variable_any cv_;
   std::thread thread_;
 };
 
@@ -95,7 +97,9 @@ class Simulation {
   void Shutdown();
 
   /// True once Shutdown has begun; long-running loops should exit.
-  bool stopping() const { return stopping_; }
+  bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
 
   // ---- Calls below are only valid from within a simulated process. ----
 
@@ -142,7 +146,7 @@ class Simulation {
   // itself or set its state to kBlocked. Hands the baton to the next event's
   // process (or the driving thread) and waits until this process runs again.
   // Returns false if the process was cancelled.
-  bool YieldLocked(std::unique_lock<std::mutex>& lock, Process* self);
+  bool YieldLocked(std::unique_lock<OrderedMutex>& lock, Process* self);
 
   // Pre: lock held, running_ == nullptr. Pops the next event and hands the
   // baton to its process. Returns false if the queue is empty.
@@ -153,8 +157,10 @@ class Simulation {
 
   void ProcessMain(Process* p, std::function<void()> fn);
 
-  mutable std::mutex mu_;
-  std::condition_variable driver_cv_;
+  // The baton-handoff lock: innermost rank — Wake() is called while the
+  // lock manager or a channel holds its own lock.
+  mutable OrderedMutex sched_mu_{LockRank::kSimScheduler};
+  std::condition_variable_any driver_cv_;
   Time now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
@@ -162,7 +168,7 @@ class Simulation {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* running_ = nullptr;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
   bool shutdown_done_ = false;
   std::unique_ptr<FaultInjector> faults_;
 };

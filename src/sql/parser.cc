@@ -434,17 +434,14 @@ class Parser {
           } else if (AcceptKeyword("default")) {
             // Store raw expression text for later evaluation.
             size_t start = Cur().offset;
-            CITUSX_ASSIGN_OR_RETURN(ExprPtr ignored, ParseExpr());
-            (void)ignored;
+            CITUSX_RETURN_IF_ERROR(ParseExpr().status());
             size_t end = Cur().offset;
             col.default_expr = raw_ ? raw_->substr(start, end - start) : "";
           } else if (AcceptKeyword("references")) {
             // FK target: parsed and recorded as informational only.
-            CITUSX_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier());
-            (void)t;
+            CITUSX_RETURN_IF_ERROR(ExpectIdentifier().status());
             if (AcceptOp("(")) {
-              CITUSX_ASSIGN_OR_RETURN(std::string c, ExpectIdentifier());
-              (void)c;
+              CITUSX_RETURN_IF_ERROR(ExpectIdentifier().status());
               CITUSX_RETURN_IF_ERROR(ExpectOp(")"));
             }
           } else if (AcceptKeyword("unique")) {

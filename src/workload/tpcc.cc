@@ -7,7 +7,6 @@ namespace citusx::workload {
 
 namespace {
 
-constexpr int kInitialNextOid = 1;  // orders are loaded with o_id < next
 
 std::string PadText(Rng& rng, int min_len, int max_len) {
   return rng.AlphaString(min_len, max_len);
@@ -197,10 +196,10 @@ Result<QueryResult> NewOrderProc(Session& s, const std::vector<Datum>& args,
   int64_t ol_cnt = args[3].AsInt64();
   uint64_t seed = static_cast<uint64_t>(args[4].AsInt64());
   Rng rng(seed);
-  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
+  CITUSX_RETURN_IF_ERROR(Exec(s, "BEGIN").status());
   auto fail = [&](const Status& st) -> Status {
-    auto rb = Exec(s, "ROLLBACK");
-    (void)rb;
+    CITUSX_IGNORE_STATUS(Exec(s, "ROLLBACK"),
+                         "transaction already failing; rollback best-effort");
     return st;
   };
   auto district = Exec(
@@ -254,9 +253,7 @@ Result<QueryResult> NewOrderProc(Session& s, const std::vector<Datum>& args,
                      price->rows[0][0].AsDouble()));
     if (!line.ok()) return fail(line.status());
   }
-  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
-  (void)began;
-  (void)committed;
+  CITUSX_RETURN_IF_ERROR(Exec(s, "COMMIT").status());
   GlobalTpccCounters().new_orders++;
   QueryResult out;
   out.command_tag = "CALL";
@@ -271,11 +268,10 @@ Result<QueryResult> PaymentProc(Session& s, const std::vector<Datum>& args,
   int64_t c_d = args[3].AsInt64();
   int64_t c = args[4].AsInt64();
   double amount = args[5].AsDouble();
-  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
-  (void)began;
+  CITUSX_RETURN_IF_ERROR(Exec(s, "BEGIN").status());
   auto fail = [&](const Status& st) -> Status {
-    auto rb = Exec(s, "ROLLBACK");
-    (void)rb;
+    CITUSX_IGNORE_STATUS(Exec(s, "ROLLBACK"),
+                         "transaction already failing; rollback best-effort");
     return st;
   };
   auto r = Exec(s, StrFormat("UPDATE warehouse SET w_ytd = w_ytd + %.2f "
@@ -300,8 +296,7 @@ Result<QueryResult> PaymentProc(Session& s, const std::vector<Datum>& args,
                         static_cast<long long>(w), static_cast<long long>(d),
                         static_cast<long long>(c), amount));
   if (!r.ok()) return fail(r.status());
-  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
-  (void)committed;
+  CITUSX_RETURN_IF_ERROR(Exec(s, "COMMIT").status());
   QueryResult out;
   out.command_tag = "CALL";
   return out;
@@ -321,15 +316,14 @@ Result<QueryResult> OrderStatusProc(Session& s,
                         static_cast<long long>(c))));
   if (!last_order.rows.empty()) {
     int64_t o_id = last_order.rows[0][0].AsInt64();
-    CITUSX_ASSIGN_OR_RETURN(
-        QueryResult lines,
+    CITUSX_RETURN_IF_ERROR(
         Exec(s, StrFormat("SELECT ol_i_id, ol_quantity, ol_amount FROM "
                           "order_line WHERE ol_w_id = %lld AND ol_d_id = %lld "
                           "AND ol_o_id = %lld",
                           static_cast<long long>(w),
                           static_cast<long long>(d),
-                          static_cast<long long>(o_id))));
-    (void)lines;
+                          static_cast<long long>(o_id)))
+            .status());
   }
   QueryResult out;
   out.command_tag = "CALL";
@@ -339,11 +333,10 @@ Result<QueryResult> OrderStatusProc(Session& s,
 Result<QueryResult> DeliveryProc(Session& s, const std::vector<Datum>& args,
                                  const TpccConfig& config) {
   int64_t w = args[0].AsInt64();
-  CITUSX_ASSIGN_OR_RETURN(QueryResult began, Exec(s, "BEGIN"));
-  (void)began;
+  CITUSX_RETURN_IF_ERROR(Exec(s, "BEGIN").status());
   auto fail = [&](const Status& st) -> Status {
-    auto rb = Exec(s, "ROLLBACK");
-    (void)rb;
+    CITUSX_IGNORE_STATUS(Exec(s, "ROLLBACK"),
+                         "transaction already failing; rollback best-effort");
     return st;
   };
   for (int64_t d = 1; d <= config.districts_per_warehouse; d++) {
@@ -361,8 +354,7 @@ Result<QueryResult> DeliveryProc(Session& s, const std::vector<Datum>& args,
                      static_cast<long long>(o_id)));
     if (!del.ok()) return fail(del.status());
   }
-  CITUSX_ASSIGN_OR_RETURN(QueryResult committed, Exec(s, "COMMIT"));
-  (void)committed;
+  CITUSX_RETURN_IF_ERROR(Exec(s, "COMMIT").status());
   QueryResult out;
   out.command_tag = "CALL";
   return out;
@@ -373,14 +365,13 @@ Result<QueryResult> StockLevelProc(Session& s,
   int64_t w = args[0].AsInt64();
   int64_t d = args[1].AsInt64();
   // Join recent order lines with stock under a threshold.
-  CITUSX_ASSIGN_OR_RETURN(
-      QueryResult r,
+  CITUSX_RETURN_IF_ERROR(
       Exec(s, StrFormat(
                   "SELECT count(DISTINCT s_i_id) FROM order_line JOIN stock "
                   "ON ol_w_id = s_w_id AND ol_i_id = s_i_id WHERE "
                   "ol_w_id = %lld AND ol_d_id = %lld AND s_quantity < 20",
-                  static_cast<long long>(w), static_cast<long long>(d))));
-  (void)r;
+                  static_cast<long long>(w), static_cast<long long>(d)))
+          .status());
   QueryResult out;
   out.command_tag = "CALL";
   return out;
@@ -477,7 +468,6 @@ Status TpccCheckConsistency(net::Connection& conn, const TpccConfig& config) {
         static_cast<long long>(orders.rows[0][0].AsInt64()),
         static_cast<long long>(expected_orders)));
   }
-  (void)kInitialNextOid;
   return Status::OK();
 }
 

@@ -10,13 +10,11 @@ Status YcsbCreateSchema(net::Connection& conn, const YcsbConfig& config) {
     ddl += StrFormat(", field%d text", f);
   }
   ddl += ")";
-  CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r, conn.Query(ddl));
-  (void)r;
+  CITUSX_RETURN_IF_ERROR(conn.Query(ddl).status());
   if (config.use_citus) {
-    CITUSX_ASSIGN_OR_RETURN(
-        engine::QueryResult d,
-        conn.Query("SELECT create_distributed_table('usertable', 'ycsb_key')"));
-    (void)d;
+    CITUSX_RETURN_IF_ERROR(
+        conn.Query("SELECT create_distributed_table('usertable', 'ycsb_key')")
+            .status());
   }
   return Status::OK();
 }
@@ -36,9 +34,8 @@ Status YcsbLoad(net::Connection& conn, const YcsbConfig& config, int64_t first,
       }
       rows.push_back(std::move(row));
     }
-    CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
-                            conn.CopyIn("usertable", {}, std::move(rows)));
-    (void)r;
+    CITUSX_RETURN_IF_ERROR(
+        conn.CopyIn("usertable", {}, std::move(rows)).status());
   }
   return Status::OK();
 }

@@ -387,7 +387,8 @@ TEST_F(ChaosTest, CommitFailureBeforePrepareAbortsEverywhere) {
     auto c = (*conn)->Query("COMMIT");
     EXPECT_FALSE(c.ok());
     ext->twophase_fault_hook = nullptr;
-    (void)(*conn)->Query("ROLLBACK");
+    CITUSX_IGNORE_STATUS((*conn)->Query("ROLLBACK"),
+                         "fault injected on purpose; rollback may fail");
     // Nothing was prepared, nothing committed.
     EXPECT_EQ(PreparedCount(), 0u);
     EXPECT_EQ(SumV(**conn), 0);
@@ -427,7 +428,8 @@ TEST_F(ChaosTest, CrashAfterPrepareIsRolledBackByRecovery) {
     auto c = (*conn)->Query("COMMIT");
     EXPECT_FALSE(c.ok());
     ext->twophase_fault_hook = nullptr;
-    (void)(*conn)->Query("ROLLBACK");
+    CITUSX_IGNORE_STATUS((*conn)->Query("ROLLBACK"),
+                         "fault injected on purpose; rollback may fail");
     // Both workers hold orphaned prepared transactions; with no commit
     // record, the recovery daemon must ROLLBACK PREPARED them.
     EXPECT_EQ(PreparedCount(), 2u);

@@ -1,0 +1,191 @@
+// Tests for the Status error taxonomy: error_class() edge cases, SQLSTATE
+// mapping round-trips, unknown/empty SQLSTATE handling, and the boundary
+// between transport errors (retry / fail over) and SQL errors (surface to
+// the client).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace citusx {
+namespace {
+
+TEST(ErrorClassTest, OkHasNoClass) {
+  EXPECT_EQ(Status::OK().error_class(), ErrorClass::kNone);
+  EXPECT_EQ(Status().error_class(), ErrorClass::kNone);
+}
+
+TEST(ErrorClassTest, EmptyMessageDoesNotChangeClass) {
+  // Classification is by code only; an empty message is still a real error.
+  Status st = Status::Deadlock("");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error_class(), ErrorClass::kRetryableTransient);
+  EXPECT_EQ(Status::Internal("").error_class(), ErrorClass::kFatal);
+}
+
+TEST(ErrorClassTest, TransientErrorsAreRetryable) {
+  // The retry set: the cluster is healthy, the transaction is not. A caller
+  // that re-runs the transaction should succeed.
+  EXPECT_EQ(Status::Aborted("serialization").error_class(),
+            ErrorClass::kRetryableTransient);
+  EXPECT_EQ(Status::Deadlock("victim").error_class(),
+            ErrorClass::kRetryableTransient);
+  EXPECT_EQ(Status::ConnectionLost("reset").error_class(),
+            ErrorClass::kRetryableTransient);
+  EXPECT_EQ(Status::Timeout("statement deadline").error_class(),
+            ErrorClass::kRetryableTransient);
+  EXPECT_EQ(Status::ResourceExhausted("pool").error_class(),
+            ErrorClass::kRetryableTransient);
+}
+
+TEST(ErrorClassTest, UnavailableMeansNodeDown) {
+  EXPECT_EQ(Status::Unavailable("worker-2 is down").error_class(),
+            ErrorClass::kNodeDown);
+}
+
+TEST(ErrorClassTest, SemanticErrorsAreFatal) {
+  // Retrying a syntax error or a missing table cannot help.
+  EXPECT_EQ(Status::InvalidArgument("syntax").error_class(),
+            ErrorClass::kFatal);
+  EXPECT_EQ(Status::NotFound("no table").error_class(), ErrorClass::kFatal);
+  EXPECT_EQ(Status::AlreadyExists("dup").error_class(), ErrorClass::kFatal);
+  EXPECT_EQ(Status::NotSupported("shape").error_class(), ErrorClass::kFatal);
+  EXPECT_EQ(Status::Internal("bug").error_class(), ErrorClass::kFatal);
+  EXPECT_EQ(Status::Cancelled("ctrl-c").error_class(), ErrorClass::kFatal);
+  EXPECT_EQ(Status::IoError("disk").error_class(), ErrorClass::kFatal);
+}
+
+TEST(ErrorClassTest, TransportVersusSqlBoundary) {
+  // The distributed executor's failover rule (paper §3.2): a *transport*
+  // error means the worker or link failed and the query may be retried on a
+  // replica; a *SQL* error came from a healthy worker that executed the
+  // statement and rejected it — it must surface to the client unchanged,
+  // never trigger failover.
+  const Status transport[] = {
+      Status::ConnectionLost("connection reset by peer"),
+      Status::Unavailable("connect refused"),
+      Status::Timeout("no response"),
+  };
+  for (const Status& st : transport) {
+    EXPECT_NE(st.error_class(), ErrorClass::kFatal) << st.ToString();
+  }
+  const Status sql_errors[] = {
+      Status::InvalidArgument("syntax error at or near \"FORM\""),
+      Status::NotFound("relation \"nope\" does not exist"),
+      Status::AlreadyExists("duplicate key value"),
+  };
+  for (const Status& st : sql_errors) {
+    EXPECT_EQ(st.error_class(), ErrorClass::kFatal) << st.ToString();
+  }
+}
+
+TEST(ErrorClassTest, ClassNamesAreStable) {
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kNone), "None");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kRetryableTransient),
+               "RetryableTransient");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kNodeDown), "NodeDown");
+  EXPECT_STREQ(ErrorClassName(ErrorClass::kFatal), "Fatal");
+}
+
+TEST(SqlStateTest, OkIsSuccessfulCompletion) {
+  EXPECT_STREQ(SqlState(StatusCode::kOk), "00000");
+}
+
+TEST(SqlStateTest, WellKnownCodes) {
+  EXPECT_STREQ(SqlState(StatusCode::kNotFound), "42P01");
+  EXPECT_STREQ(SqlState(StatusCode::kDeadlock), "40P01");
+  EXPECT_STREQ(SqlState(StatusCode::kAborted), "40001");
+  EXPECT_STREQ(SqlState(StatusCode::kConnectionLost), "08006");
+  EXPECT_STREQ(SqlState(StatusCode::kNotSupported), "0A000");
+  EXPECT_STREQ(SqlState(StatusCode::kInternal), "XX000");
+}
+
+TEST(SqlStateTest, EveryCodeHasAFiveCharState) {
+  const StatusCode all[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kNotSupported, StatusCode::kInternal,
+      StatusCode::kAborted,     StatusCode::kDeadlock,
+      StatusCode::kUnavailable, StatusCode::kResourceExhausted,
+      StatusCode::kCancelled,   StatusCode::kIoError,
+      StatusCode::kConnectionLost, StatusCode::kTimeout,
+  };
+  for (StatusCode code : all) {
+    EXPECT_EQ(std::string(SqlState(code)).size(), 5u)
+        << StatusCodeName(code);
+  }
+}
+
+TEST(SqlStateTest, RoundTripPreservesHandlingClass) {
+  // SQLSTATE is the wire form of the error taxonomy; crossing the wire must
+  // not change how the coordinator handles a worker error.
+  const StatusCode codes[] = {
+      StatusCode::kInvalidArgument, StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,   StatusCode::kNotSupported,
+      StatusCode::kInternal,        StatusCode::kAborted,
+      StatusCode::kDeadlock,        StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted, StatusCode::kCancelled,
+      StatusCode::kConnectionLost,  StatusCode::kTimeout,
+  };
+  for (StatusCode code : codes) {
+    StatusCode back = StatusCodeFromSqlState(SqlState(code));
+    EXPECT_EQ(Status(back, "").error_class(), Status(code, "").error_class())
+        << StatusCodeName(code) << " -> " << SqlState(code) << " -> "
+        << StatusCodeName(back);
+  }
+}
+
+TEST(SqlStateTest, UnknownSqlStateIsFatal) {
+  // An error we cannot identify must not be retried blindly: map to
+  // kInternal (class Fatal).
+  for (const char* state : {"99999", "ZZZZZ", "12345"}) {
+    StatusCode code = StatusCodeFromSqlState(state);
+    EXPECT_EQ(code, StatusCode::kInternal) << state;
+    EXPECT_EQ(Status(code, "").error_class(), ErrorClass::kFatal) << state;
+  }
+}
+
+TEST(SqlStateTest, EmptyAndMalformedSqlStatesAreFatal) {
+  EXPECT_EQ(StatusCodeFromSqlState(""), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromSqlState("40"), StatusCode::kInternal);      // short
+  EXPECT_EQ(StatusCodeFromSqlState("40P011"), StatusCode::kInternal);  // long
+  EXPECT_EQ(StatusCodeFromSqlState("4000 "), StatusCode::kInternal);
+}
+
+TEST(SqlStateTest, ClassFallbacksForUnmappedStates) {
+  // States we never emit ourselves still classify by their two-char class:
+  // class 08 (connection exception) is a transport error, class 40
+  // (transaction rollback) is retryable.
+  EXPECT_EQ(StatusCodeFromSqlState("08P01"), StatusCode::kConnectionLost);
+  EXPECT_EQ(StatusCodeFromSqlState("40002"), StatusCode::kAborted);
+  // Class 42 (syntax or access rule violation) without an exact match is a
+  // semantic error.
+  StatusCode c42 = StatusCodeFromSqlState("42883");
+  EXPECT_EQ(Status(c42, "").error_class(), ErrorClass::kFatal);
+}
+
+TEST(SqlStateTest, SuccessRoundTrip) {
+  EXPECT_EQ(StatusCodeFromSqlState("00000"), StatusCode::kOk);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status st = Status::Deadlock("canceling statement due to deadlock");
+  EXPECT_NE(st.ToString().find("Deadlock"), std::string::npos);
+  EXPECT_NE(st.ToString().find("canceling statement"), std::string::npos);
+}
+
+TEST(StatusTest, IgnoreStatusMacroCompilesAndEvaluatesOnce) {
+  int evaluations = 0;
+  auto fallible = [&evaluations]() {
+    evaluations++;
+    return Status::Internal("ignored on purpose");
+  };
+  CITUSX_IGNORE_STATUS(fallible(), "test: the macro must evaluate once");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace citusx

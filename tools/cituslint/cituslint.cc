@@ -1,0 +1,846 @@
+// cituslint: in-tree static analysis enforcing citusx's architectural
+// invariants. Runs as a tier-1 ctest over src/ with a committed baseline
+// (tools/cituslint/baseline.txt) that may only shrink.
+//
+// Rules:
+//   layering       - each src/<layer>/ may only include headers from the
+//                    layers below it in the library DAG. src/citus/ (the
+//                    "extension") is held to the paper's contract: the only
+//                    engine header it may include is engine/hooks.h, and no
+//                    storage/ headers at all — everything else must go
+//                    through the hook API.
+//   status-discard - no `(void)expr` / `static_cast<void>(expr)` discards.
+//                    Dropping a Status silently is how distributed bugs are
+//                    born; use CITUSX_IGNORE_STATUS(expr, "reason") instead.
+//   lock-rank      - OrderedMutex acquisitions must nest in strictly
+//                    increasing LockRank order. The rank table is parsed out
+//                    of src/common/ordered_mutex.h and acquisition sites are
+//                    extracted lexically (lock_guard/unique_lock/scoped_lock
+//                    over OrderedMutex members).
+//   raw-mutex      - no std::mutex/recursive_mutex/shared_mutex/timed_mutex
+//                    outside common/ordered_mutex.{h,cc}: every lock must
+//                    carry a rank or the lock-rank rule has holes.
+//   nodiscard      - Status and Result must stay [[nodiscard]] in
+//                    common/status.h (the compile-time half of the
+//                    status-discard rule).
+//
+// Suppression: append `// cituslint: allow(<rule>)` to the offending line.
+// Comments and string/char literals are stripped before matching, so code
+// examples in docs don't trip the rules (but suppression markers are read
+// from the raw line first).
+//
+// Usage: cituslint <repo-root> [--baseline <file>] [--counts] [--self-test]
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string rule;
+  std::string file;   // repo-relative, forward slashes
+  int line = 0;
+  std::string detail;
+
+  /// Line-number-free identity used for baseline matching, so unrelated
+  /// edits that shift lines do not invalidate baseline entries.
+  std::string Key() const { return rule + "|" + file + "|" + detail; }
+};
+
+struct LintResult {
+  std::vector<Violation> violations;
+  std::vector<std::string> errors;  // lint-tool level problems (fail hard)
+};
+
+// ---------------------------------------------------------------------------
+// Source scanning: per-line text with comments and literals blanked out.
+
+struct SourceFile {
+  std::string path;                 // repo-relative
+  std::vector<std::string> raw;     // original lines
+  std::vector<std::string> code;    // comments/strings replaced by spaces
+  std::vector<std::set<std::string>> allows;  // per-line allowed rules
+};
+
+/// Collect `cituslint: allow(rule1, rule2)` markers on a raw line.
+std::set<std::string> ParseAllows(const std::string& line) {
+  std::set<std::string> out;
+  const std::string tag = "cituslint: allow(";
+  size_t pos = line.find(tag);
+  if (pos == std::string::npos) return out;
+  size_t start = pos + tag.size();
+  size_t end = line.find(')', start);
+  if (end == std::string::npos) return out;
+  std::string inner = line.substr(start, end - start);
+  std::stringstream ss(inner);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(0, rule.find_first_not_of(" \t"));
+    rule.erase(rule.find_last_not_of(" \t") + 1);
+    if (!rule.empty()) out.insert(rule);
+  }
+  return out;
+}
+
+/// Blank out comments and string/char literals, preserving line structure.
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw string closing delimiter: )delim"
+  for (const std::string& line : lines) {
+    std::string stripped(line.size(), ' ');
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!isalnum(line[i - 1]) && line[i - 1] != '_'))) {
+            size_t paren = line.find('(', i + 2);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + line.substr(i + 2, paren - i - 2) + "\"";
+              state = State::kRawString;
+              i = paren;
+            }
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            // Heuristic: only treat as a char literal when it looks like one
+            // (avoids tripping on digit separators 1'000'000).
+            if (i > 0 && isdigit(static_cast<unsigned char>(line[i - 1]))) {
+              stripped[i] = c;
+            } else {
+              state = State::kChar;
+            }
+          } else {
+            stripped[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            stripped[i] = '"';  // keep delimiters so include paths survive
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString:
+          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
+            state = State::kCode;
+            i += raw_delim.size() - 1;
+          }
+          break;
+      }
+    }
+    // Strings and chars do not span lines in this codebase; reset so an
+    // unterminated literal cannot poison the rest of the file.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(stripped));
+  }
+  return out;
+}
+
+SourceFile LoadSource(const std::string& rel_path,
+                      const std::vector<std::string>& lines) {
+  SourceFile f;
+  f.path = rel_path;
+  f.raw = lines;
+  f.code = StripCommentsAndStrings(lines);
+  f.allows.reserve(lines.size());
+  for (const std::string& line : lines) f.allows.push_back(ParseAllows(line));
+  return f;
+}
+
+bool Allowed(const SourceFile& f, size_t line_idx, const std::string& rule) {
+  return line_idx < f.allows.size() && f.allows[line_idx].count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering.
+
+/// First path component under src/ ("engine/locks.h" -> "engine").
+std::string LayerOf(const std::string& src_rel) {
+  size_t slash = src_rel.find('/');
+  return slash == std::string::npos ? src_rel : src_rel.substr(0, slash);
+}
+
+const std::map<std::string, std::set<std::string>>& LayerDag() {
+  // Which layers each layer's headers/sources may include from. Mirrors the
+  // target_link_libraries graph in src/*/CMakeLists.txt plus transitive
+  // closure; keep the two in sync.
+  static const std::map<std::string, std::set<std::string>> kDag = {
+      {"common", {"common"}},
+      {"sim", {"sim", "common"}},
+      {"obs", {"obs", "sim", "common"}},
+      {"sql", {"sql", "common"}},
+      {"storage", {"storage", "sql", "sim", "obs", "common"}},
+      {"engine", {"engine", "storage", "sql", "sim", "obs", "common"}},
+      {"net", {"net", "engine", "storage", "sql", "sim", "obs", "common"}},
+      // The extension: engine access is restricted to the hook API header
+      // (special-cased below); storage/ is fully off limits.
+      {"citus", {"citus", "net", "sql", "sim", "obs", "common"}},
+      {"workload",
+       {"workload", "citus", "net", "engine", "storage", "sql", "sim", "obs",
+        "common"}},
+  };
+  return kDag;
+}
+
+/// Extract the target of an `#include "..."` (project include), or "".
+/// The directive is recognized on the stripped line (so commented-out
+/// includes don't count) but the path is read from the raw line, because
+/// stripping blanks string-literal contents.
+std::string IncludeTarget(const std::string& code_line,
+                          const std::string& raw_line) {
+  size_t hash = code_line.find_first_not_of(" \t");
+  if (hash == std::string::npos || code_line[hash] != '#') return "";
+  size_t inc = code_line.find("include", hash);
+  if (inc == std::string::npos) return "";
+  size_t open = raw_line.find('"', inc);
+  if (open == std::string::npos) return "";  // <system> include
+  size_t close = raw_line.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return raw_line.substr(open + 1, close - open - 1);
+}
+
+void CheckLayering(const SourceFile& f, LintResult* out) {
+  const std::string kRule = "layering";
+  std::string src_rel = f.path.substr(std::string("src/").size());
+  std::string layer = LayerOf(src_rel);
+  auto it = LayerDag().find(layer);
+  if (it == LayerDag().end()) {
+    out->errors.push_back("layering: unknown layer '" + layer + "' for " +
+                          f.path + " — add it to LayerDag()");
+    return;
+  }
+  const std::set<std::string>& allowed = it->second;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    std::string target = IncludeTarget(f.code[i], f.raw[i]);
+    if (target.empty()) continue;
+    std::string target_layer = LayerOf(target);
+    if (LayerDag().count(target_layer) == 0) continue;  // not a src/ layer
+    if (Allowed(f, i, kRule)) continue;
+    bool ok = allowed.count(target_layer) > 0;
+    if (layer == "citus" && target_layer == "engine") {
+      ok = (target == "engine/hooks.h");
+    }
+    if (!ok) {
+      out->violations.push_back(
+          {kRule, f.path, static_cast<int>(i + 1),
+           "includes " + target + " (layer '" + layer + "' may not depend on '" +
+               target_layer + "'" +
+               (layer == "citus" && target_layer == "engine"
+                    ? " except engine/hooks.h"
+                    : "") +
+               ")"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: status-discard.
+
+void CheckStatusDiscard(const SourceFile& f, LintResult* out) {
+  const std::string kRule = "status-discard";
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    bool hit = false;
+    // `(void)expr` cast: '(void)' followed by something castable.
+    for (size_t pos = line.find("(void)"); pos != std::string::npos;
+         pos = line.find("(void)", pos + 1)) {
+      size_t after = pos + strlen("(void)");
+      while (after < line.size() && isspace(static_cast<unsigned char>(line[after]))) {
+        ++after;
+      }
+      if (after < line.size() &&
+          (isalnum(static_cast<unsigned char>(line[after])) ||
+           line[after] == '_' || line[after] == ':' || line[after] == '(' ||
+           line[after] == '*')) {
+        // Exclude function signatures `f(void)` — C-ism absent here, but be
+        // safe: a cast is preceded by start-of-expression, not an identifier.
+        size_t before = pos;
+        while (before > 0 &&
+               isspace(static_cast<unsigned char>(line[before - 1]))) {
+          --before;
+        }
+        if (before > 0 && (isalnum(static_cast<unsigned char>(line[before - 1])) ||
+                           line[before - 1] == '_')) {
+          continue;  // `name(void)` — a declaration, not a discard
+        }
+        hit = true;
+        break;
+      }
+    }
+    if (!hit && line.find("static_cast<void>(") != std::string::npos) {
+      hit = true;
+    }
+    if (hit && !Allowed(f, i, kRule)) {
+      out->violations.push_back(
+          {kRule, f.path, static_cast<int>(i + 1),
+           "explicit void discard; handle the result or use "
+           "CITUSX_IGNORE_STATUS(expr, reason)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-mutex.
+
+void CheckRawMutex(const SourceFile& f, LintResult* out) {
+  const std::string kRule = "raw-mutex";
+  if (f.path == "src/common/ordered_mutex.h" ||
+      f.path == "src/common/ordered_mutex.cc") {
+    return;  // the one place std::mutex may live
+  }
+  static const char* kBanned[] = {"std::mutex", "std::recursive_mutex",
+                                  "std::shared_mutex", "std::timed_mutex"};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    for (const char* banned : kBanned) {
+      size_t pos = f.code[i].find(banned);
+      if (pos == std::string::npos) continue;
+      // Reject `std::mutex` but not `std::mutex_like_thing`.
+      size_t end = pos + strlen(banned);
+      if (end < f.code[i].size() &&
+          (isalnum(static_cast<unsigned char>(f.code[i][end])) ||
+           f.code[i][end] == '_')) {
+        continue;
+      }
+      if (!Allowed(f, i, kRule)) {
+        out->violations.push_back(
+            {kRule, f.path, static_cast<int>(i + 1),
+             std::string("uses ") + banned +
+                 "; use common/ordered_mutex.h so the lock carries a rank"});
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard.
+
+void CheckNodiscard(const SourceFile& f, LintResult* out) {
+  if (f.path != "src/common/status.h") return;
+  bool status_marked = false;
+  bool result_marked = false;
+  for (const std::string& line : f.code) {
+    if (line.find("class [[nodiscard]] Status") != std::string::npos) {
+      status_marked = true;
+    }
+    if (line.find("class [[nodiscard]] Result") != std::string::npos) {
+      result_marked = true;
+    }
+  }
+  if (!status_marked) {
+    out->violations.push_back({"nodiscard", f.path, 1,
+                               "Status lost its [[nodiscard]] marking"});
+  }
+  if (!result_marked) {
+    out->violations.push_back({"nodiscard", f.path, 1,
+                               "Result lost its [[nodiscard]] marking"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-rank.
+
+/// Parsed from the LockRank enum in common/ordered_mutex.h.
+using RankTable = std::map<std::string, int>;  // kName -> value
+
+bool ParseRankTable(const SourceFile& f, RankTable* table,
+                    std::vector<std::string>* errors) {
+  bool in_enum = false;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (!in_enum) {
+      if (line.find("enum class LockRank") != std::string::npos) in_enum = true;
+      continue;
+    }
+    if (line.find("};") != std::string::npos) break;
+    // Enumerator lines look like: `kCatalog = 20,`
+    size_t k = line.find('k');
+    if (k == std::string::npos) continue;
+    size_t eq = line.find('=', k);
+    if (eq == std::string::npos) continue;
+    std::string name = line.substr(k, eq - k);
+    name.erase(name.find_last_not_of(" \t") + 1);
+    int value = atoi(line.c_str() + eq + 1);
+    if (table->count(name) > 0) {
+      errors->push_back("lock-rank: duplicate enumerator " + name);
+      return false;
+    }
+    (*table)[name] = value;
+  }
+  if (table->empty()) {
+    errors->push_back(
+        "lock-rank: could not parse LockRank enum from common/ordered_mutex.h");
+    return false;
+  }
+  return true;
+}
+
+/// Find `OrderedMutex <member>{LockRank::kX}` declarations and map the member
+/// name to its rank. Member names must be globally unique per rank — the
+/// lexical analysis resolves `foo_mu_` without type information, so a name
+/// bound to two different ranks is itself a lint error.
+void CollectMutexDecls(const SourceFile& f, const RankTable& ranks,
+                       std::map<std::string, int>* decls,
+                       std::map<std::string, std::string>* decl_sites,
+                       LintResult* out) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    size_t om = line.find("OrderedMutex ");
+    if (om == std::string::npos) continue;
+    if (om > 0 && (isalnum(static_cast<unsigned char>(line[om - 1])) ||
+                   line[om - 1] == '_')) {
+      continue;
+    }
+    size_t name_start = om + strlen("OrderedMutex ");
+    size_t name_end = name_start;
+    while (name_end < line.size() &&
+           (isalnum(static_cast<unsigned char>(line[name_end])) ||
+            line[name_end] == '_')) {
+      ++name_end;
+    }
+    if (name_end == name_start) continue;
+    std::string member = line.substr(name_start, name_end - name_start);
+    size_t rank_pos = line.find("LockRank::", name_end);
+    if (rank_pos == std::string::npos) continue;  // e.g. a parameter decl
+    size_t k = rank_pos + strlen("LockRank::");
+    size_t k_end = k;
+    while (k_end < line.size() &&
+           (isalnum(static_cast<unsigned char>(line[k_end])) ||
+            line[k_end] == '_')) {
+      ++k_end;
+    }
+    std::string rank_name = line.substr(k, k_end - k);
+    auto rit = ranks.find(rank_name);
+    if (rit == ranks.end()) {
+      out->errors.push_back("lock-rank: " + f.path + ":" +
+                            std::to_string(i + 1) + " unknown rank " +
+                            rank_name);
+      continue;
+    }
+    auto [dit, inserted] = decls->emplace(member, rit->second);
+    if (inserted) {
+      (*decl_sites)[member] = f.path + ":" + std::to_string(i + 1);
+    } else if (dit->second != rit->second) {
+      out->errors.push_back(
+          "lock-rank: mutex member name '" + member +
+          "' is declared with two different ranks (" + (*decl_sites)[member] +
+          " vs " + f.path + ":" + std::to_string(i + 1) +
+          "); rename one — the static analysis resolves acquisitions by name");
+    }
+  }
+}
+
+/// Lexical acquisition-ordering check: track lock_guard/unique_lock/
+/// scoped_lock<OrderedMutex> declarations per brace scope and flag inner
+/// acquisitions whose rank is <= an outer held rank.
+void CheckLockRank(const SourceFile& f, const std::map<std::string, int>& decls,
+                   LintResult* out) {
+  const std::string kRule = "lock-rank";
+  struct Held {
+    int rank;
+    int depth;
+    std::string name;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (size_t pos = 0; pos < line.size(); ++pos) {
+      char c = line[pos];
+      if (c == '{') {
+        ++depth;
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        if (depth <= 0) {
+          depth = 0;
+          held.clear();  // function boundary: guards cannot escape
+        }
+        continue;
+      }
+      // Match guard declarations at this position.
+      static const char* kGuards[] = {"std::lock_guard<OrderedMutex>",
+                                      "std::unique_lock<OrderedMutex>",
+                                      "std::scoped_lock<OrderedMutex>"};
+      for (const char* g : kGuards) {
+        size_t glen = strlen(g);
+        if (line.compare(pos, glen, g) != 0) continue;
+        // The guarded mutex is the last identifier inside the constructor
+        // parens; find `(` then the trailing identifier before `)`.
+        size_t open = line.find('(', pos + glen);
+        if (open == std::string::npos) break;
+        size_t close = line.find(')', open);
+        std::string arg = close == std::string::npos
+                              ? line.substr(open + 1)
+                              : line.substr(open + 1, close - open - 1);
+        // Strip to the trailing identifier: "sim_->sched_mu_" -> "sched_mu_".
+        size_t id_end = arg.find_last_not_of(" \t");
+        if (id_end == std::string::npos) break;
+        size_t id_start = id_end;
+        while (id_start > 0 &&
+               (isalnum(static_cast<unsigned char>(arg[id_start - 1])) ||
+                arg[id_start - 1] == '_')) {
+          --id_start;
+        }
+        std::string mutex_name = arg.substr(id_start, id_end - id_start + 1);
+        auto dit = decls.find(mutex_name);
+        if (dit == decls.end()) {
+          if (!Allowed(f, i, kRule)) {
+            out->violations.push_back(
+                {kRule, f.path, static_cast<int>(i + 1),
+                 "acquires '" + mutex_name +
+                     "' which has no declared LockRank (declare it as "
+                     "OrderedMutex name{LockRank::kX})"});
+          }
+          break;
+        }
+        int rank = dit->second;
+        if (!held.empty() && held.back().rank >= rank && !Allowed(f, i, kRule)) {
+          out->violations.push_back(
+              {kRule, f.path, static_cast<int>(i + 1),
+               "acquires '" + mutex_name + "' (rank " + std::to_string(rank) +
+                   ") while holding '" + held.back().name + "' (rank " +
+                   std::to_string(held.back().rank) +
+                   "); locks must nest in increasing rank order"});
+        }
+        held.push_back({rank, depth, mutex_name});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+std::vector<std::string> ReadLines(const fs::path& p) {
+  std::ifstream in(p);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+LintResult RunLint(const std::vector<SourceFile>& files) {
+  LintResult result;
+  RankTable ranks;
+  std::map<std::string, int> mutex_decls;
+  std::map<std::string, std::string> decl_sites;
+  const SourceFile* ordered_mutex_h = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.path == "src/common/ordered_mutex.h") ordered_mutex_h = &f;
+  }
+  bool have_ranks = false;
+  if (ordered_mutex_h != nullptr) {
+    have_ranks = ParseRankTable(*ordered_mutex_h, &ranks, &result.errors);
+  } else {
+    result.errors.push_back("lock-rank: src/common/ordered_mutex.h not found");
+  }
+  if (have_ranks) {
+    for (const SourceFile& f : files) {
+      CollectMutexDecls(f, ranks, &mutex_decls, &decl_sites, &result);
+    }
+  }
+  for (const SourceFile& f : files) {
+    CheckLayering(f, &result);
+    CheckStatusDiscard(f, &result);
+    CheckRawMutex(f, &result);
+    CheckNodiscard(f, &result);
+    if (have_ranks) CheckLockRank(f, mutex_decls, &result);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline.
+
+std::set<std::string> LoadBaseline(const std::string& path,
+                                   std::vector<std::string>* errors) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    errors->push_back("cannot open baseline file: " + path);
+    return keys;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Self test: feed synthetic sources through the rules and check the verdicts.
+
+int SelfTest() {
+  int failures = 0;
+  auto expect = [&failures](bool cond, const char* what) {
+    if (!cond) {
+      fprintf(stderr, "self-test FAILED: %s\n", what);
+      failures++;
+    }
+  };
+  auto make = [](const std::string& path, const std::string& text) {
+    std::vector<std::string> lines;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) lines.push_back(line);
+    return LoadSource(path, lines);
+  };
+  auto count_rule = [](const LintResult& r, const std::string& rule) {
+    int n = 0;
+    for (const auto& v : r.violations) {
+      if (v.rule == rule) n++;
+    }
+    return n;
+  };
+
+  const std::string kMutexHeader =
+      "enum class LockRank {\n"
+      "  kLow = 10,\n"
+      "  kHigh = 20,\n"
+      "};\n"
+      "class [[nodiscard]] Status {};\n"
+      "template <typename T> class [[nodiscard]] Result {};\n";
+
+  {  // layering: citus may include hooks.h but nothing else from engine.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/citus/good.cc", "#include \"engine/hooks.h\"\n"),
+        make("src/citus/bad.cc", "#include \"engine/locks.h\"\n"
+                                 "#include \"storage/heap.h\"\n"),
+        make("src/citus/suppressed.cc",
+             "#include \"engine/locks.h\"  // cituslint: allow(layering)\n"),
+        make("src/sql/bad.cc", "#include \"engine/node.h\"\n"),
+    });
+    expect(count_rule(r, "layering") == 3, "layering finds 3 violations");
+  }
+  {  // status-discard: (void) and static_cast<void>, but not f(void) decls
+     // or commented/quoted occurrences.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/common/a.cc",
+             "void f() {\n"
+             "  (void)DoThing();\n"
+             "  static_cast<void>(DoThing());\n"
+             "  (void)x;  // cituslint: allow(status-discard)\n"
+             "  // (void)commented();\n"
+             "  Log(\"(void)quoted\");\n"
+             "}\n"
+             "int g(void);\n"),
+    });
+    expect(count_rule(r, "status-discard") == 2,
+           "status-discard finds exactly the two real discards");
+  }
+  {  // raw-mutex: banned outside ordered_mutex.h.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h",
+             kMutexHeader + "#include <mutex>\nstd::mutex mu_;\n"),
+        make("src/engine/a.h", "std::mutex bad_;\nstd::shared_mutex worse_;\n"),
+    });
+    expect(count_rule(r, "raw-mutex") == 2, "raw-mutex finds 2 violations");
+  }
+  {  // nodiscard: markers must stay on Status/Result.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/common/status.h", "class Status {};\n"
+                                    "template <class T> class Result {};\n"),
+    });
+    expect(count_rule(r, "nodiscard") == 2, "nodiscard catches lost markers");
+  }
+  {  // lock-rank: inversion, equal-rank reacquire, unranked mutex, and a
+     // clean increasing chain.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/engine/a.h",
+             "class A {\n"
+             "  mutable OrderedMutex low_mu_{LockRank::kLow};\n"
+             "  mutable OrderedMutex high_mu_{LockRank::kHigh};\n"
+             "  OrderedMutex free_mu_;\n"
+             "};\n"),
+        make("src/engine/a.cc",
+             "void Ok() {\n"
+             "  std::lock_guard<OrderedMutex> g1(low_mu_);\n"
+             "  {\n"
+             "    std::lock_guard<OrderedMutex> g2(high_mu_);\n"
+             "  }\n"
+             "}\n"
+             "void Inverted() {\n"
+             "  std::lock_guard<OrderedMutex> g1(high_mu_);\n"
+             "  std::lock_guard<OrderedMutex> g2(low_mu_);\n"
+             "}\n"
+             "void SequentialOk() {\n"
+             "  { std::lock_guard<OrderedMutex> g(high_mu_); }\n"
+             "  { std::lock_guard<OrderedMutex> g(low_mu_); }\n"
+             "}\n"
+             "void Unranked() {\n"
+             "  std::lock_guard<OrderedMutex> g(free_mu_);\n"
+             "}\n"),
+    });
+    expect(count_rule(r, "lock-rank") == 2,
+           "lock-rank finds the inversion and the unranked acquisition");
+  }
+  {  // lock-rank: duplicate member name with conflicting ranks is a hard
+     // error, and member access through a pointer resolves correctly.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/engine/a.h", "OrderedMutex mu_{LockRank::kLow};\n"),
+        make("src/net/b.h", "OrderedMutex mu_{LockRank::kHigh};\n"),
+    });
+    expect(!r.errors.empty(), "conflicting mutex member names are an error");
+    LintResult r2 = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/engine/a.h", "OrderedMutex low_mu_{LockRank::kLow};\n"
+                               "OrderedMutex high_mu_{LockRank::kHigh};\n"),
+        make("src/engine/a.cc",
+             "void F() {\n"
+             "  std::lock_guard<OrderedMutex> g(other_->high_mu_);\n"
+             "  std::lock_guard<OrderedMutex> g2(self->low_mu_);\n"
+             "}\n"),
+    });
+    expect(count_rule(r2, "lock-rank") == 1,
+           "pointer-qualified mutex members resolve by trailing identifier");
+  }
+  if (failures == 0) printf("cituslint self-test: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string baseline_path;
+  bool counts = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--self-test") return SelfTest();
+    if (arg == "--counts") {
+      counts = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      root = arg;
+    } else {
+      fprintf(stderr,
+              "usage: cituslint <repo-root> [--baseline <file>] [--counts] "
+              "[--self-test]\n");
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    fprintf(stderr, "cituslint: missing repo root\n");
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  fs::path src = fs::path(root) / "src";
+  if (!fs::exists(src)) {
+    fprintf(stderr, "cituslint: %s does not exist\n", src.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::string rel = fs::relative(p, fs::path(root)).generic_string();
+    files.push_back(LoadSource(rel, ReadLines(p)));
+  }
+
+  LintResult result = RunLint(files);
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    baseline = LoadBaseline(baseline_path, &result.errors);
+  }
+
+  std::map<std::string, int> per_rule_new;
+  std::map<std::string, int> per_rule_baselined;
+  std::set<std::string> matched_baseline;
+  int new_count = 0;
+  for (const Violation& v : result.violations) {
+    if (baseline.count(v.Key()) > 0) {
+      matched_baseline.insert(v.Key());
+      per_rule_baselined[v.rule]++;
+      continue;
+    }
+    per_rule_new[v.rule]++;
+    new_count++;
+    fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+            v.detail.c_str());
+  }
+  // Monotonic shrink: baseline entries that no longer fire must be removed.
+  int stale = 0;
+  for (const std::string& key : baseline) {
+    if (matched_baseline.count(key) == 0) {
+      fprintf(stderr, "stale baseline entry (violation fixed — delete it): %s\n",
+              key.c_str());
+      stale++;
+    }
+  }
+  for (const std::string& err : result.errors) {
+    fprintf(stderr, "cituslint error: %s\n", err.c_str());
+  }
+
+  if (counts) {
+    static const char* kRules[] = {"layering", "status-discard", "lock-rank",
+                                   "raw-mutex", "nodiscard"};
+    for (const char* rule : kRules) {
+      printf("%s: %d new, %d baselined\n", rule,
+             per_rule_new.count(rule) ? per_rule_new.at(rule) : 0,
+             per_rule_baselined.count(rule) ? per_rule_baselined.at(rule) : 0);
+    }
+  }
+
+  if (new_count == 0 && stale == 0 && result.errors.empty()) {
+    printf("cituslint: %zu files clean (%d baselined violations remain)\n",
+           files.size(), static_cast<int>(matched_baseline.size()));
+    return 0;
+  }
+  fprintf(stderr, "cituslint: %d new violation(s), %d stale baseline entr%s\n",
+          new_count, stale, stale == 1 ? "y" : "ies");
+  return 1;
+}
