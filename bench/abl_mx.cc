@@ -1,0 +1,214 @@
+// Ablation: metadata syncing / any-node coordination (Citus MX, §3.10).
+//
+// A single-shard read workload (pgbench -S style, PREPARE/EXECUTE over a
+// distributed key-value table) is driven against an 8-node cluster: five
+// data workers hold the shards, and three shard-free nodes (the
+// coordinator plus two metadata-synced workers) do nothing but plan and
+// route. Two modes:
+//
+//   baseline  every client connects to the coordinator — the classic
+//             topology where one node plans every query;
+//   mx        clients are spread round robin over the 3 coordinating
+//             nodes — metadata sync lets the extra two plan and route
+//             queries themselves.
+//
+// The data tier has enough aggregate CPU that the baseline saturates on
+// the single coordinator's planning/binding, which is exactly the
+// resource MX triples: aggregate throughput must rise by >= 2x. The
+// binary self-checks that ratio, that every coordinating node actually
+// coordinated queries in MX mode, and that neither mode produced a
+// single error — a stale or confused node would surface here.
+//
+//   abl_mx [--quick] [--json=<path>]
+#include "bench_common.h"
+#include "common/str.h"
+
+using namespace citusx;
+using namespace citusx::bench;
+
+namespace {
+
+struct ModeResult {
+  double tps = 0;
+  LatencyTriple latency;
+  int64_t errors = 0;
+  int64_t retryable = 0;
+  // Queries coordinated per node (fast-path plans + cached-plan binds),
+  // keyed by node name.
+  std::vector<std::pair<std::string, int64_t>> coordinated;
+};
+
+const std::vector<std::string>& MxEndpoints() {
+  static const std::vector<std::string> kEndpoints = {"coordinator", "worker6",
+                                                      "worker7"};
+  return kEndpoints;
+}
+
+Status LoadRows(citus::Deployment& deploy, int64_t rows) {
+  auto conn_r = deploy.Connect();
+  if (!conn_r.ok()) return conn_r.status();
+  net::Connection& conn = **conn_r;
+  // Shards land on worker1..worker5 (registered before the table exists);
+  // worker6/worker7 join afterwards, so metadata sync makes them full
+  // coordinating peers that own no shards — pure routers, like the
+  // coordinator itself.
+  CITUSX_RETURN_IF_ERROR(
+      conn.Query("CREATE TABLE kv (key bigint PRIMARY KEY, v text)").status());
+  CITUSX_RETURN_IF_ERROR(
+      conn.Query("SELECT create_distributed_table('kv', 'key')").status());
+  CITUSX_RETURN_IF_ERROR(conn.Query("SELECT citus_add_node('worker6')").status());
+  CITUSX_RETURN_IF_ERROR(conn.Query("SELECT citus_add_node('worker7')").status());
+  std::vector<std::vector<std::string>> batch;
+  for (int64_t i = 0; i < rows; i++) {
+    batch.push_back({std::to_string(i), StrFormat("value-%lld",
+                                                  static_cast<long long>(i))});
+    if (batch.size() == 5000) {
+      CITUSX_RETURN_IF_ERROR(conn.CopyIn("kv", {}, std::move(batch)).status());
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    CITUSX_RETURN_IF_ERROR(conn.CopyIn("kv", {}, std::move(batch)).status());
+  }
+  return Status::OK();
+}
+
+ModeResult RunMode(bool mx, bool quick) {
+  sim::CostModel cost;
+  cost.net_rtt = 20 * sim::kMicrosecond;  // rack-local: planning CPU visible
+  cost.buffer_pool_bytes = 256LL << 20;   // keep disk I/O out of the picture
+  // Small nodes so the coordinating node saturates on planning CPU at a
+  // query volume a smoke test can simulate; the scaling shape is the same
+  // at 16 cores, just at ~16x the load.
+  cost.cores_per_node = 1;
+
+  sim::Simulation sim;
+  citus::DeploymentOptions options;
+  // Five data workers hold the shards; the two spares become shard-free
+  // coordinating peers once LoadRows registers them.
+  options.num_workers = 5;
+  options.spare_workers = 2;
+  options.cost = cost;
+  citus::Deployment deploy(&sim, options);
+
+  const int64_t rows = quick ? 2000 : 10000;
+  MustRun(sim, [&] { return LoadRows(deploy, rows); });
+
+  workload::DriverOptions dopts;
+  // Enough closed-loop clients to saturate the baseline's single
+  // coordinating node (planning + its local third of the shard reads).
+  dopts.clients = quick ? 60 : 96;
+  dopts.warmup = (quick ? 100 : 500) * sim::kMillisecond;
+  dopts.duration = (quick ? 500 : 2000) * sim::kMillisecond;
+  dopts.sleep_between = 0;
+  if (mx) dopts.endpoints = MxEndpoints();
+
+  std::vector<char> prepared(static_cast<size_t>(dopts.clients), 0);
+  workload::DriverResult r = workload::RunDriver(
+      &sim, &deploy.cluster().directory(), dopts,
+      [&](net::Connection& conn, int client_id, Rng& rng) -> Status {
+        if (!prepared[static_cast<size_t>(client_id)]) {
+          CITUSX_RETURN_IF_ERROR(
+              conn.Query("PREPARE sel (bigint) AS "
+                         "SELECT v FROM kv WHERE key = $1")
+                  .status());
+          prepared[static_cast<size_t>(client_id)] = 1;
+        }
+        int64_t key = static_cast<int64_t>(rng.Next() % rows);
+        return conn
+            .Query(StrFormat("EXECUTE sel (%lld)",
+                             static_cast<long long>(key)))
+            .status();
+      });
+
+  ModeResult out;
+  out.tps = r.PerSecond();
+  out.latency = Percentiles(r.latency);
+  out.errors = r.fatal_errors;
+  out.retryable = r.retryable_errors;
+  for (size_t i = 0; i < deploy.cluster().num_nodes(); i++) {
+    engine::Node* node = deploy.cluster().node(i);
+    const obs::Metrics& m = node->metrics();
+    out.coordinated.emplace_back(node->name(),
+                                 m.CounterValue("citus.planner.fast_path") +
+                                     m.CounterValue("citus.plancache.hit"));
+  }
+  sim.Shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+
+  PrintHeader("Ablation: metadata sync / any-node coordination (Citus MX)",
+              "paper §3.10 Citus MX; single-shard read scaling");
+  std::printf("%-10s %-34s %12s %10s %10s %10s\n", "mode", "endpoints", "tps",
+              "p50 (ms)", "p95 (ms)", "p99 (ms)");
+
+  BenchReport report("abl_mx");
+  auto add_row = [&](const char* mode, const char* endpoints,
+                     const ModeResult& m) {
+    std::printf("%-10s %-34s %12.0f %10.3f %10.3f %10.3f\n", mode, endpoints,
+                m.tps, m.latency.p50_ms, m.latency.p95_ms, m.latency.p99_ms);
+    std::vector<sql::JsonPtr> per_node;
+    for (const auto& [node, c] : m.coordinated) {
+      per_node.push_back(sql::Json::MakeObject(
+          {{"node", sql::Json::MakeString(node)},
+           {"coordinated", sql::Json::MakeNumber(static_cast<double>(c))}}));
+    }
+    report.AddResult(
+        {{"mode", sql::Json::MakeString(mode)},
+         {"endpoints", sql::Json::MakeString(endpoints)},
+         {"tps", sql::Json::MakeNumber(m.tps)},
+         {"p50_ms", sql::Json::MakeNumber(m.latency.p50_ms)},
+         {"p95_ms", sql::Json::MakeNumber(m.latency.p95_ms)},
+         {"p99_ms", sql::Json::MakeNumber(m.latency.p99_ms)},
+         {"errors", sql::Json::MakeNumber(static_cast<double>(m.errors))},
+         {"retryable_errors",
+          sql::Json::MakeNumber(static_cast<double>(m.retryable))},
+         {"coordinated_per_node", sql::Json::MakeArray(std::move(per_node))}});
+  };
+
+  ModeResult baseline = RunMode(/*mx=*/false, args.quick);
+  add_row("baseline", "coordinator", baseline);
+  ModeResult mx = RunMode(/*mx=*/true, args.quick);
+  add_row("mx", "coordinator,worker6,worker7", mx);
+
+  double scaling = baseline.tps > 0 ? mx.tps / baseline.tps : 0;
+  std::printf("\nAggregate read scaling (mx / baseline, 3 nodes): %.2fx\n",
+              scaling);
+  report.AddResult({{"scaling", sql::Json::MakeNumber(scaling)}});
+  if (!report.WriteTo(args.json_path)) return 1;
+
+  if (baseline.errors > 0 || mx.errors > 0) {
+    std::fprintf(stderr,
+                 "FAIL: errors (baseline=%lld mx=%lld); a stale node "
+                 "answered wrong or refused unexpectedly\n",
+                 static_cast<long long>(baseline.errors),
+                 static_cast<long long>(mx.errors));
+    return 1;
+  }
+  for (const std::string& endpoint : MxEndpoints()) {
+    int64_t coordinated = -1;
+    for (const auto& [node, c] : mx.coordinated) {
+      if (node == endpoint) coordinated = c;
+    }
+    if (coordinated <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s coordinated no queries in MX mode — "
+                   "metadata sync did not enable any-node routing\n",
+                   endpoint.c_str());
+      return 1;
+    }
+  }
+  if (scaling < 2.0) {
+    std::fprintf(stderr, "FAIL: expected >= 2x aggregate single-shard read "
+                 "throughput with 3 coordinating nodes, got %.2fx\n", scaling);
+    return 1;
+  }
+  std::printf("PASS: 3 coordinating nodes deliver %.2fx aggregate "
+              "single-shard read throughput.\n", scaling);
+  return 0;
+}

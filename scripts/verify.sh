@@ -6,65 +6,94 @@
 #   tier 2: AddressSanitizer build + full ctest suite
 #   tier 3: ThreadSanitizer build + full ctest suite
 #   tier 4: UndefinedBehaviorSanitizer build + full ctest suite
-#   bench smoke: fig9 (2PC invariant) and abl_plancache (>= 2x plan-cache
-#                speedup), both with JSON reports the binaries self-check
-#   chaos smoke: chaos_ycsb --quick under a fixed seed against both the
-#                release and the ASan build — zero acked-commit losses,
-#                all prepared transactions resolved, post-recovery
-#                throughput within 20% of baseline (binary self-checks)
+#   tier bench: bench + chaos smoke — fig9 (2PC invariant), abl_plancache
+#               (>= 2x plan-cache speedup), abl_mx (>= 2x any-node read
+#               scaling), chaos_ycsb --quick under a fixed seed (release
+#               and, when present, the ASan build); every binary
+#               self-checks its own invariants and JSON report
 #
-# Usage: scripts/verify.sh [--tier1-only]
+# Usage: scripts/verify.sh [--tier N]
+#   --tier N       run only that tier (1-4, or "bench"); "bench" expects a
+#                  tier-1 build to exist and reuses the ASan build if one
+#                  is already present
+#   --tier1-only   alias for --tier 1 (kept for older callers)
+#   (no flag)      run every tier in order
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-TIER1_ONLY=0
-for arg in "$@"; do
-  case "$arg" in
-    --tier1-only) TIER1_ONLY=1 ;;
-    *) echo "unknown argument: $arg (expected --tier1-only)" >&2; exit 2 ;;
+TIER=all
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tier)
+      [[ $# -ge 2 ]] || { echo "--tier needs an argument (1-4 or bench)" >&2; exit 2; }
+      TIER="$2"; shift 2 ;;
+    --tier=*) TIER="${1#--tier=}"; shift ;;
+    --tier1-only) TIER=1; shift ;;
+    *) echo "unknown argument: $1 (expected --tier N or --tier1-only)" >&2; exit 2 ;;
   esac
 done
+case "$TIER" in
+  all|1|2|3|4|bench) ;;
+  *) echo "unknown tier: $TIER (expected 1-4 or bench)" >&2; exit 2 ;;
+esac
 
-echo "==> tier 1: release build + ctest"
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+run_tier() { [[ "$TIER" == all || "$TIER" == "$1" ]]; }
 
-echo "==> cituslint: per-rule violations vs committed baseline"
-# The lint gate itself already ran as a ctest above; this prints the
-# burn-down state ("N new, M baselined" per rule — baselined counts must
-# only ever shrink, enforced by the stale-entry check in the tool).
-./build/tools/cituslint/cituslint . \
-    --baseline tools/cituslint/baseline.txt --counts || true
+if run_tier 1; then
+  echo "==> tier 1: release build + ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  (cd build && ctest --output-on-failure -j"$(nproc)")
 
-if [[ "$TIER1_ONLY" == "1" ]]; then
-  echo "OK (tier 1 only)"
-  exit 0
+  echo "==> cituslint: per-rule violations vs committed baseline"
+  # Prints the burn-down state ("N new, M baselined" per rule) and FAILS
+  # the run on any new violation or stale baseline entry — baselined
+  # counts must only ever shrink.
+  ./build/tools/cituslint/cituslint . \
+      --baseline tools/cituslint/baseline.txt --counts
 fi
 
-echo "==> tier 2: AddressSanitizer build + ctest"
-cmake -B build-asan -S . -DCITUSX_SANITIZE=address >/dev/null
-cmake --build build-asan -j"$(nproc)"
-(cd build-asan && ctest --output-on-failure -j"$(nproc)")
+if run_tier 2; then
+  echo "==> tier 2: AddressSanitizer build + ctest"
+  cmake -B build-asan -S . -DCITUSX_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  (cd build-asan && ctest --output-on-failure -j"$(nproc)")
+fi
 
-echo "==> tier 3: ThreadSanitizer build + ctest"
-cmake -B build-tsan -S . -DCITUSX_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)"
-(cd build-tsan && ctest --output-on-failure -j"$(nproc)")
+if run_tier 3; then
+  echo "==> tier 3: ThreadSanitizer build + ctest"
+  cmake -B build-tsan -S . -DCITUSX_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  (cd build-tsan && ctest --output-on-failure -j"$(nproc)")
+fi
 
-echo "==> tier 4: UndefinedBehaviorSanitizer build + ctest"
-cmake -B build-ubsan -S . -DCITUSX_SANITIZE=undefined >/dev/null
-cmake --build build-ubsan -j"$(nproc)"
-(cd build-ubsan && ctest --output-on-failure -j"$(nproc)")
+if run_tier 4; then
+  echo "==> tier 4: UndefinedBehaviorSanitizer build + ctest"
+  cmake -B build-ubsan -S . -DCITUSX_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j"$(nproc)"
+  (cd build-ubsan && ctest --output-on-failure -j"$(nproc)")
+fi
 
-echo "==> bench smoke: fig9 (2PC) + abl_plancache (plan cache)"
-./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
-./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
+if run_tier bench; then
+  if [[ ! -x build/bench/fig9_2pc ]]; then
+    echo "==> tier bench: building release binaries first"
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)"
+  fi
+  echo "==> bench smoke: fig9 (2PC) + abl_plancache (plan cache) + abl_mx (MX)"
+  ./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
+  ./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
+  ./build/bench/abl_mx --quick --json=build/BENCH_mx_smoke.json
 
-echo "==> chaos smoke: crash/restart schedule under a fixed seed (release + ASan)"
-./build/bench/chaos_ycsb --quick --seed=42 --json=build/BENCH_chaos_smoke.json
-./build-asan/bench/chaos_ycsb --quick --seed=42 \
-    --json=build-asan/BENCH_chaos_smoke.json
+  echo "==> chaos smoke: crash/restart schedule under a fixed seed"
+  ./build/bench/chaos_ycsb --quick --seed=42 --json=build/BENCH_chaos_smoke.json
+  if [[ -x build-asan/bench/chaos_ycsb ]]; then
+    ./build-asan/bench/chaos_ycsb --quick --seed=42 \
+        --json=build-asan/BENCH_chaos_smoke.json
+  else
+    echo "    (no ASan build present; skipping the ASan chaos pass)"
+  fi
+fi
 
-echo "OK"
+echo "OK (tier: $TIER)"

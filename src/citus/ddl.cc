@@ -51,6 +51,38 @@ std::vector<Task> ShardDdlTasks(const CitusTable& table,
 Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
     CitusExtension* ext, engine::Session& session, const sql::Statement& stmt) {
   CitusMetadata& metadata = ext->metadata();
+  if (!ext->IsMetadataAuthority()) {
+    // Internal connections are stamped with the sender's metadata version
+    // (executor.cc); their DDL is shard/shell DDL already being propagated
+    // by the authority and must execute as plain local DDL here —
+    // re-propagating it from this node's synced copy would recurse. Client
+    // DDL touching a distributed table is refused instead: metadata writes
+    // stay single-master on the authority (§3.10).
+    if (!session.GetVar("citus.metadata_peer_version").empty()) {
+      return std::optional<engine::QueryResult>();
+    }
+    std::vector<std::string> names;
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kCreateIndex:
+        names.push_back(stmt.create_index->table);
+        break;
+      case sql::Statement::Kind::kDropTable:
+        names.push_back(stmt.drop_table->table);
+        break;
+      case sql::Statement::Kind::kTruncate:
+        names = stmt.truncate->tables;
+        break;
+      default:
+        return std::optional<engine::QueryResult>();
+    }
+    for (const std::string& name : names) {
+      if (metadata.Find(name) != nullptr || ext->IsShellTable(name)) {
+        return Status::NotSupported("DDL on distributed table " + name +
+                                    " must run on the coordinator node");
+      }
+    }
+    return std::optional<engine::QueryResult>();
+  }
   std::string table_name;
   switch (stmt.kind) {
     case sql::Statement::Kind::kCreateIndex:
@@ -66,7 +98,7 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
         any_citus |= metadata.Find(t) != nullptr;
       }
       if (!any_citus) return std::optional<engine::QueryResult>();
-      metadata.BumpGeneration();
+      metadata.BumpClusterVersion();
       AdaptiveExecutor executor(ext);
       for (const auto& t : stmt.truncate->tables) {
         CitusTable* table = metadata.Find(t);
@@ -83,7 +115,9 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
             executor.Execute(session, std::move(tasks)).status());
         table->approx_rows = 0;
         table->approx_bytes = 0;
+        metadata.TouchTable(table);
       }
+      ext->MaybeSyncMetadata();
       engine::QueryResult out;
       out.command_tag = "TRUNCATE TABLE";
       return std::optional<engine::QueryResult>(std::move(out));
@@ -94,8 +128,9 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
   CitusTable* table = metadata.Find(table_name);
   if (table == nullptr) return std::optional<engine::QueryResult>();
 
-  // Any DDL on a distributed table invalidates cached distributed plans.
-  metadata.BumpGeneration();
+  // Any DDL on a distributed table invalidates cached distributed plans,
+  // on this node and (through the sync that follows) on every other.
+  metadata.BumpClusterVersion();
 
   AdaptiveExecutor executor(ext);
   switch (stmt.kind) {
@@ -106,6 +141,8 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
       // Remember for future shard placements (moves), and create the index
       // on the coordinator's (empty) shell so deparsing stays complete.
       table->post_ddl.push_back(sql::DeparseStatement(stmt));
+      metadata.TouchTable(table);
+      ext->MaybeSyncMetadata();
       engine::QueryResult out;
       out.command_tag = "CREATE INDEX";
       return std::optional<engine::QueryResult>(std::move(out));
@@ -123,8 +160,10 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
         t.is_write = true;
         tasks.push_back(std::move(t));
       }
-      // Remove the metadata first so the workers' utility hooks treat the
-      // shell drops as plain local DDL (no re-propagation).
+      // Remove from the authority's catalog first; workers run the shell
+      // drops as plain local DDL (their utility hooks see the stamped
+      // internal connection) and their synced copies reconcile on the sync
+      // below.
       metadata.Remove(table_name);
       table = nullptr;
       CITUSX_RETURN_IF_ERROR(
@@ -133,6 +172,7 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
       CITUSX_IGNORE_STATUS(
           session.node()->catalog().DropTable(table_name),
           "shard drops already applied; a missing shell is not an error");
+      ext->MaybeSyncMetadata();
       engine::QueryResult out;
       out.command_tag = "DROP TABLE";
       return std::optional<engine::QueryResult>(std::move(out));

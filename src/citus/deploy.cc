@@ -16,12 +16,22 @@ Deployment::Deployment(sim::Simulation* sim, const DeploymentOptions& options)
     for (int i = 0; i < active && i < static_cast<int>(ws.size()); i++) {
       metadata_->workers.push_back(ws[static_cast<size_t>(i)]->name());
     }
+    // Per-node metadata copies (§3.10): the coordinator's copy (metadata_)
+    // is the cluster authority; every other node starts with an empty
+    // replica that metadata sync fills in, after which it can coordinate
+    // distributed queries itself.
+    metadata_->InitAuthority();
     for (size_t i = 0; i < cluster_->num_nodes(); i++) {
       engine::Node* node = cluster_->node(i);
       CitusConfig cfg = options.citus;
       cfg.is_coordinator = node == cluster_->coordinator();
-      extensions_.push_back(
-          CitusExtension::Install(node, &cluster_->directory(), metadata_, cfg));
+      std::shared_ptr<CitusMetadata> copy = metadata_;
+      if (!cfg.is_coordinator) {
+        copy = std::make_shared<CitusMetadata>();
+        copy->default_shard_count = options.citus.shard_count;
+      }
+      extensions_.push_back(CitusExtension::Install(
+          node, &cluster_->directory(), std::move(copy), cfg));
     }
   }
   if (options.start_background_workers) {

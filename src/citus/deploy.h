@@ -1,6 +1,7 @@
-// Deployment helper: builds a Citus cluster (coordinator + workers, shared
-// metadata, extensions installed, background workers started) — the unit
-// benches, tests, and examples operate on.
+// Deployment helper: builds a Citus cluster (coordinator + workers,
+// per-node metadata copies with the coordinator as authority, extensions
+// installed, background workers started) — the unit benches, tests, and
+// examples operate on. metadata() returns the authority (coordinator) copy.
 #ifndef CITUSX_CITUS_DEPLOY_H_
 #define CITUSX_CITUS_DEPLOY_H_
 

@@ -394,6 +394,15 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedCopy(
     CitusExtension* ext, engine::Session& session, const sql::CopyStmt& stmt,
     const std::vector<std::vector<std::string>>& rows) {
   CitusTable* table = ext->metadata().Find(stmt.table);
+  // MX routing gate, mirroring the planner's (§3.10): a stale non-authority
+  // node must not COPY into what its copy thinks the table is — and above
+  // all must not fall through to the empty local shell, where the rows
+  // would silently vanish.
+  if (!ext->IsMetadataAuthority() &&
+      (table != nullptr || ext->IsShellTable(stmt.table)) && !ext->MxReady()) {
+    return ext->MxStaleRejection("COPY on node " + ext->node()->name() +
+                                 " without current synced metadata");
+  }
   if (table == nullptr) return std::optional<engine::QueryResult>();
   engine::TableInfo* shell = ext->node()->catalog().Find(stmt.table);
   if (shell == nullptr) return Status::NotFound("shell table missing");
@@ -545,6 +554,10 @@ Result<std::optional<engine::QueryResult>> ProcessDelegatedCall(
   CITUSX_ASSIGN_OR_RETURN(WorkerConnection * wc,
                           ext->GetConnection(session, worker,
                                              {table->colocation_id, idx}));
+  // Delegated CALLs bypass ExecOneTask, so refresh the metadata version
+  // stamp here — a pooled connection may carry a stamp from before the
+  // worker last synced, which the worker would reject as stale.
+  CITUSX_RETURN_IF_ERROR(ext->StampPeerMetadataVersion(wc));
   CITUSX_ASSIGN_OR_RETURN(engine::QueryResult r,
                           wc->conn->Query(sql::DeparseStatement(call, opts)));
   return std::optional<engine::QueryResult>(std::move(r));

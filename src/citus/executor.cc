@@ -39,6 +39,10 @@ struct RunState {
 
 Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
   // NOLINTNEXTLINE: task fields moved at most once (each task runs once).
+  // MX (§3.10): every inter-node statement carries the sender's metadata
+  // version so the receiver can refuse work routed by a staler peer. One
+  // SET round trip per connection per version; a no-op when current.
+  CITUSX_RETURN_IF_ERROR(st.ext->StampPeerMetadataVersion(wc));
   if (st.need_txn_block) {
     CITUSX_RETURN_IF_ERROR(st.ext->EnsureWorkerTxn(*st.session, wc));
   }
@@ -152,6 +156,11 @@ Status ExecTaskResilient(RunState& st, WorkerConnection*& wc, Task& task) {
       }
     }
     ErrorClass ec = last.error_class();
+    // A stale-metadata rejection cannot heal through task-level retries:
+    // this node keeps routing from the same stale copy until a re-sync.
+    // Surface it immediately — it is RetryableTransient, so the client
+    // retry re-plans after the maintenance daemon has re-synced the node.
+    if (IsStaleMetadataStatus(last)) return last;
     // Inside a transaction block worker state is at stake: no silent
     // retries, the error aborts the distributed transaction.
     if (ec == ErrorClass::kFatal || st.need_txn_block) return last;

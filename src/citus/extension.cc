@@ -59,6 +59,10 @@ CitusExtension::CitusExtension(engine::Node* node,
   metric_partial_failures = m.counter("citus.failures.partial_failures");
   metric_node_down = m.counter("citus.failures.node_down_invalidations");
   metric_recovered = m.counter("citus.2pc.recovered");
+  metric_mx_rejections = m.counter("citus.mx.stale_rejections");
+  metric_mx_sync_rounds = m.counter("citus.mx.sync_rounds");
+  metric_mx_sync_failures = m.counter("citus.mx.sync_failures");
+  metric_mx_sync_applied = m.counter("citus.mx.sync_applied");
 }
 
 CitusExtension* CitusExtension::Install(
@@ -118,6 +122,16 @@ void CitusExtension::RegisterHooks() {
   hooks.post_abort = [ext](engine::Session& session) {
     ext->PostAbort(session);
   };
+  hooks.on_restart = [ext](engine::Node&) {
+    // A restarted worker must not trust its metadata copy until the
+    // authority re-syncs it (the copy may have missed changes while the
+    // node was down): clear the synced marker so MX routing is refused,
+    // and bump the generation so cached distributed plans are rebuilt.
+    if (!ext->IsMetadataAuthority()) {
+      ext->metadata().set_mx_synced(false);
+      ext->metadata().BumpGeneration();
+    }
+  };
 }
 
 void CitusExtension::StartMaintenanceDaemon() {
@@ -131,6 +145,17 @@ void CitusExtension::StartMaintenanceDaemon() {
         while (sim->WaitFor(ext->config().deadlock_poll_interval)) {
           if (node.is_down()) continue;
           ext->DetectDistributedDeadlocks();
+          // Metadata-sync repair (§3.10): re-sync any worker that is behind
+          // the current cluster version, restarted since its last sync, or
+          // whose last round failed mid-way. This is what heals a node left
+          // stale by a crash during sync.
+          if (ext->config().enable_metadata_sync &&
+              ext->AnyMetadataSyncPending()) {
+            CITUSX_IGNORE_STATUS(
+                ext->SyncMetadataToWorkers().status(),
+                "periodic daemon pass; unsynced nodes refuse MX routing "
+                "and are retried next round");
+          }
           if (sim->now() - last_recovery >=
               ext->config().recovery_poll_interval) {
             last_recovery = sim->now();

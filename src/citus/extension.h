@@ -40,6 +40,10 @@ struct WorkerConnection {
   /// connection (the plan cache PREPAREs each shard query once per
   /// connection, then re-EXECUTEs it).
   std::set<std::string> prepared_stmts;
+  /// Metadata cluster version last stamped onto this connection via
+  /// SET citus.metadata_peer_version (0 = never stamped). The receiving
+  /// node uses the stamp to refuse work routed by a staler peer.
+  uint64_t stamped_version = 0;
 };
 
 /// Per-session extension state, hung off Session::extension_state.
@@ -52,6 +56,10 @@ struct CitusSessionState {
   /// Distributed plan cache, keyed by normalized statement shape
   /// (plancache.cc). Entries are dropped when the metadata generation moves.
   std::map<std::string, std::shared_ptr<CachedDistPlan>> plan_cache;
+  /// Cached parse of the citus.metadata_peer_version session variable
+  /// (set once per inter-node connection; re-parsed only when it changes).
+  std::string peer_version_str;
+  uint64_t peer_version = 0;
 
   ~CitusSessionState();
 };
@@ -89,7 +97,45 @@ struct CitusConfig {
   /// Per-statement deadline on worker connections (0 = none). A round trip
   /// exceeding it fails with Timeout and the connection is replaced.
   sim::Time statement_timeout = 0;
+  /// Metadata syncing (§3.10, Citus MX): the coordinator pushes its
+  /// catalogs to every worker after each metadata change, and the
+  /// maintenance daemon re-syncs nodes that missed a round (crash, restart,
+  /// new node). Disable to model a classic coordinator-only cluster; the
+  /// manual sync UDFs (citus_sync_metadata, start_metadata_sync_to_node)
+  /// still work.
+  bool enable_metadata_sync = true;
 };
+
+/// Metadata-sync round-trip boundaries where the fault hook fires
+/// (crash-during-sync testing). The arguments are the target node name and
+/// the boundary just crossed.
+enum class MetadataSyncPoint {
+  kBeforeBegin,  // before the sync_begin round trip
+  kAfterBegin,   // peer marked unsynced, payload not yet shipped
+  kAfterApply,   // payload applied, finish (publish) not yet sent
+};
+
+/// Per-node metadata-sync bookkeeping on the authority (backing store of
+/// the citus_stat_metadata_sync view).
+struct NodeSyncState {
+  uint64_t version = 0;       // cluster version last synced successfully
+  uint64_t target_epoch = 0;  // target's restart_epoch at that sync
+  bool synced = false;
+  sim::Time last_sync_time = 0;
+  int64_t round_trips = 0;  // cumulative sync round trips (incl. failures)
+  int64_t syncs = 0;        // successful sync rounds
+  int64_t attempts = 0;     // rounds attempted
+};
+
+/// Error-message prefix for stale-metadata rejections. They are issued as
+/// StatusCode::kAborted (SQLSTATE 40001, RetryableTransient) so drivers and
+/// the executor treat them as retryable — a re-sync heals the node.
+inline constexpr const char* kStaleMetadataError = "stale distributed metadata";
+
+inline bool IsStaleMetadataStatus(const Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().rfind(kStaleMetadataError, 0) == 0;
+}
 
 /// 2PC phase boundaries where the fault hook fires (crash testing §3.7).
 enum class TwoPhasePoint {
@@ -100,9 +146,11 @@ enum class TwoPhasePoint {
 
 class CitusExtension {
  public:
-  /// Install the extension on `node`. `metadata` is shared across the
-  /// cluster (modelling synced metadata); `directory` resolves worker names.
-  /// Registers hooks, UDFs, and the maintenance background worker.
+  /// Install the extension on `node`. `metadata` is this node's own copy of
+  /// the catalogs: the coordinator's copy is the cluster authority, worker
+  /// copies are replicas filled in by metadata sync (§3.10); `directory`
+  /// resolves worker names. Registers hooks, UDFs, and the maintenance
+  /// background worker.
   static CitusExtension* Install(engine::Node* node,
                                  net::NodeDirectory* directory,
                                  std::shared_ptr<CitusMetadata> metadata,
@@ -175,6 +223,87 @@ class CitusExtension {
     return n;
   }
 
+  // ---- metadata syncing / MX mode (metadata_sync.cc) ----
+
+  /// True on the node that owns the authoritative metadata copy (the
+  /// coordinator). Only the authority mutates cluster-visible metadata.
+  bool IsMetadataAuthority() const { return config_.is_coordinator; }
+
+  /// True when this node may coordinate distributed queries: the authority
+  /// always, a worker only with a fully applied sync at a version no older
+  /// than any version it has observed on the wire.
+  bool MxReady() const {
+    if (config_.is_coordinator) return true;
+    return metadata_->mx_synced() &&
+           metadata_->cluster_version() >= metadata_->known_cluster_version();
+  }
+
+  /// Push the authority's catalogs to one node / all registered workers
+  /// over a dedicated connection (three round trips: begin, incremental
+  /// apply, finish). SyncMetadataToWorkers returns the number of nodes
+  /// synced; per-node failures mark the node unsynced and are not fatal.
+  Status SyncMetadataToNode(const std::string& target);
+  Result<int> SyncMetadataToWorkers();
+  /// Best-effort auto-sync after an authoritative metadata change; failures
+  /// are left for the maintenance daemon to retry.
+  void MaybeSyncMetadata();
+  /// True when some registered worker needs a (re-)sync: never synced,
+  /// behind the current version, restarted since its last sync, or its last
+  /// round failed.
+  bool AnyMetadataSyncPending() const;
+
+  /// Stamp `wc` with this node's metadata version (one SET round trip,
+  /// skipped when already stamped at the current version). Called before
+  /// task dispatch so every inter-node statement carries the sender's
+  /// version.
+  Status StampPeerMetadataVersion(WorkerConnection* wc);
+  /// Receiver side: reject statements from a peer whose stamped version is
+  /// older than this node's copy (stale routing may target moved shards).
+  /// Also feeds the peer's version into the known-version watermark.
+  Status CheckPeerMetadataVersion(engine::Session& session);
+
+  /// Build a stale-metadata rejection (kAborted + kStaleMetadataError
+  /// prefix, see above) and count it in citus.mx.stale_rejections.
+  Status MxStaleRejection(const std::string& detail);
+
+  /// Shell-table registry: worker-side record that a relation is the empty
+  /// local shell of a distributed table. A worker whose metadata copy is
+  /// stale (or empty) must refuse statements touching registered shells
+  /// rather than run them locally and return wrong (empty) answers.
+  void RegisterShellTable(const std::string& name) {
+    shell_tables_.insert(name);
+  }
+  void UnregisterShellTable(const std::string& name) {
+    shell_tables_.erase(name);
+  }
+  bool IsShellTable(const std::string& name) const {
+    return shell_tables_.count(name) > 0;
+  }
+  /// Drop registrations for tables the authority no longer has (sync
+  /// reconciliation after a DROP TABLE).
+  void ReconcileShellTables(const std::set<std::string>& keep) {
+    for (auto it = shell_tables_.begin(); it != shell_tables_.end();) {
+      if (keep.count(*it) == 0) {
+        it = shell_tables_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Authority-side per-node sync bookkeeping (citus_stat_metadata_sync).
+  const std::map<std::string, NodeSyncState>& sync_states() const {
+    return sync_states_;
+  }
+  void ForgetSyncState(const std::string& target) {
+    sync_states_.erase(target);
+  }
+
+  /// Test/chaos hook fired at metadata-sync boundaries; a non-OK return
+  /// aborts the sync round at that point, leaving the target unsynced.
+  std::function<Status(const std::string&, MetadataSyncPoint)>
+      metadata_sync_fault_hook;
+
   /// Test/chaos hook fired at 2PC phase boundaries; a non-OK return models
   /// the coordinator failing at that point (the commit path surfaces the
   /// error without finishing the protocol).
@@ -225,6 +354,11 @@ class CitusExtension {
   obs::Counter* metric_partial_failures = nullptr;  // citus.failures.partial_failures
   obs::Counter* metric_node_down = nullptr;         // citus.failures.node_down_invalidations
   obs::Counter* metric_recovered = nullptr;         // citus.2pc.recovered
+  // MX metadata-sync counters (citus_stat_metadata_sync / _failures views).
+  obs::Counter* metric_mx_rejections = nullptr;     // citus.mx.stale_rejections
+  obs::Counter* metric_mx_sync_rounds = nullptr;    // citus.mx.sync_rounds
+  obs::Counter* metric_mx_sync_failures = nullptr;  // citus.mx.sync_failures
+  obs::Counter* metric_mx_sync_applied = nullptr;   // citus.mx.sync_applied
 
   // ---- citus_stat_statements backing store ----
   void RecordStatement(const std::string& normalized, const std::string& tier,
@@ -278,6 +412,13 @@ class CitusExtension {
   std::set<std::string> down_workers_;
   /// Worker -> shard tables awaiting cleanup (dropped by the daemon).
   std::map<std::string, std::vector<std::string>> pending_cleanup_;
+  /// Relations registered as distributed-table shells on this node.
+  /// Single-writer per node (DDL propagation / sync apply), read at plan
+  /// time; cooperative scheduling makes the unlocked map safe, matching
+  /// stat_statements_ above.
+  std::set<std::string> shell_tables_;
+  /// Authority-side sync bookkeeping, keyed by target node name.
+  std::map<std::string, NodeSyncState> sync_states_;
 
  public:
   void MarkDistTxnActive(const std::string& id) {

@@ -3,16 +3,33 @@
 //
 // The real extension stores these in catalog tables (pg_dist_partition,
 // pg_dist_shard, pg_dist_placement, ...) replicated to workers when metadata
-// syncing is enabled. Here the metadata object is shared by every node's
-// extension instance, which models a fully synced cluster (every node can
-// coordinate, §3.2.1). Commit records (pg_dist_transaction) are the
-// exception: they must commit atomically with the local transaction, so they
-// live in a real engine table per node (see twophase.cc).
+// syncing is enabled (§3.10, "Citus MX"). Each node's extension instance
+// owns its own CitusMetadata copy: the coordinator's copy is the authority
+// (the single writer), and worker copies are replicas maintained over the
+// wire by metadata_sync.cc so that any node can coordinate distributed
+// queries (§3.2.1). Two counters with distinct jobs track change:
+//
+//   generation       — node-local plan-invalidation counter. Bumped by any
+//                      local event that can invalidate a cached distributed
+//                      plan (authoritative DDL, a sync applying on a
+//                      replica, a worker marked unreachable). Never
+//                      compared across nodes.
+//   cluster_version  — the authoritative metadata version. Only the
+//                      authority increments it (BumpClusterVersion); a
+//                      replica's copy holds the version it last applied via
+//                      sync. Stamped onto every inter-node connection so a
+//                      receiver can refuse work routed by a staler peer.
+//
+// Commit records (pg_dist_transaction) are the exception: they must commit
+// atomically with the local transaction, so they live in a real engine
+// table per node (see twophase.cc).
 #ifndef CITUSX_CITUS_METADATA_H_
 #define CITUSX_CITUS_METADATA_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,6 +67,10 @@ struct CitusTable {
   /// join-order planner to pick broadcast vs repartition.
   int64_t approx_rows = 0;
   int64_t approx_bytes = 0;
+  /// Cluster version at which this table last changed (authority side).
+  /// Lets metadata sync ship only the tables newer than what the peer
+  /// already applied instead of the full catalog every round.
+  uint64_t modified_version = 0;
 
   std::string ShardName(uint64_t shard_id) const {
     return StrFormat("%s_%llu", name.c_str(),
@@ -129,6 +150,104 @@ class CitusMetadata {
     generation_++;
   }
 
+  // --- MX metadata-sync state (§3.10) -----------------------------------
+
+  /// Marks this copy as the cluster's metadata authority (the coordinator).
+  /// The authority is born synced at version 1; replicas stay at version 0
+  /// and unsynced until a sync round completes.
+  void InitAuthority() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    cluster_version_ = 1;
+    mx_synced_ = true;
+  }
+
+  /// Authoritative metadata version of this copy: the version the authority
+  /// has published, or the version a replica last applied.
+  uint64_t cluster_version() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return cluster_version_;
+  }
+
+  /// Authority-only: record a cluster-visible metadata change. Also bumps
+  /// the local generation, since every authoritative change invalidates
+  /// cached plans on this node too.
+  void BumpClusterVersion() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    generation_++;
+    cluster_version_++;
+  }
+
+  /// Authority-only: stamp `table` as changed at the current version, so
+  /// incremental sync ships it to peers that applied an older version.
+  void TouchTable(CitusTable* table) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    table->modified_version = cluster_version_;
+  }
+
+  /// True once a replica has applied a complete sync (always true on the
+  /// authority). Cleared while a sync round is applying and on node
+  /// restart, so a half-applied copy is never used for routing.
+  bool mx_synced() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return mx_synced_;
+  }
+  void set_mx_synced(bool synced) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    mx_synced_ = synced;
+  }
+
+  /// Highest cluster version this node has ever observed, its own or
+  /// stamped on an inbound peer connection. A replica whose own
+  /// cluster_version falls below this watermark knows it is stale even
+  /// before the authority re-syncs it.
+  uint64_t known_cluster_version() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return known_cluster_version_;
+  }
+  void NoteObservedVersion(uint64_t version) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    known_cluster_version_ = std::max(known_cluster_version_, version);
+  }
+
+  /// Replica-side sync protocol. BeginSync marks the copy unsynced for the
+  /// duration of the apply window and reports the last applied version so
+  /// the authority can ship an incremental payload. ApplySyncedTable
+  /// replaces one table in place (std::map node addresses are stable, so
+  /// CitusTable pointers held across a yield by in-flight queries stay
+  /// valid). ReconcileTables drops tables the authority no longer has.
+  /// FinishSync publishes the new version and bumps the generation once so
+  /// cached plans built against the old copy are discarded.
+  uint64_t BeginSync() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    mx_synced_ = false;
+    return cluster_version_;
+  }
+  void ApplySyncedTable(CitusTable table) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    tables_[table.name] = std::move(table);
+  }
+  int ReconcileTables(const std::set<std::string>& keep) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    int removed = 0;
+    for (auto it = tables_.begin(); it != tables_.end();) {
+      if (keep.count(it->first) == 0) {
+        it = tables_.erase(it);
+        removed++;
+        generation_++;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+  void FinishSync(uint64_t version) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    cluster_version_ = version;
+    known_cluster_version_ = std::max(known_cluster_version_, version);
+    mx_synced_ = true;
+    generation_++;
+  }
+
   const std::map<std::string, CitusTable>& tables() const { return tables_; }
   std::map<std::string, CitusTable>& mutable_tables() { return tables_; }
 
@@ -181,6 +300,9 @@ class CitusMetadata {
   uint64_t next_shard_id_ = 102008;
   int next_colocation_id_ = 1;
   uint64_t generation_ = 0;
+  uint64_t cluster_version_ = 0;
+  uint64_t known_cluster_version_ = 0;
+  bool mx_synced_ = false;
 };
 
 /// Evenly divide the int32 hash space into `count` intervals.

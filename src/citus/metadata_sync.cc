@@ -1,0 +1,357 @@
+// Metadata syncing (§3.10, Citus MX): the authority-side sync driver and
+// the JSON payload (de)serialization. See metadata_sync.h for the protocol
+// and udf.cc for the worker-side internal UDFs.
+#include "citus/metadata_sync.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "citus/extension.h"
+#include "sql/json.h"
+
+namespace citusx::citus {
+
+namespace {
+
+sql::JsonPtr Num(double v) { return sql::Json::MakeNumber(v); }
+sql::JsonPtr Str(std::string s) { return sql::Json::MakeString(std::move(s)); }
+
+sql::JsonPtr SerializeTable(const CitusTable& t) {
+  std::vector<sql::JsonPtr> shards;
+  shards.reserve(t.shards.size());
+  for (const ShardInterval& s : t.shards) {
+    shards.push_back(sql::Json::MakeObject({
+        {"id", Num(static_cast<double>(s.shard_id))},
+        {"min", Num(s.min_hash)},
+        {"max", Num(s.max_hash)},
+        {"placement", Str(s.placement)},
+    }));
+  }
+  std::vector<sql::JsonPtr> replicas;
+  replicas.reserve(t.replica_nodes.size());
+  for (const std::string& r : t.replica_nodes) replicas.push_back(Str(r));
+  std::vector<sql::JsonPtr> ddl;
+  ddl.reserve(t.post_ddl.size());
+  for (const std::string& d : t.post_ddl) ddl.push_back(Str(d));
+  return sql::Json::MakeObject({
+      {"name", Str(t.name)},
+      {"is_reference", sql::Json::MakeBool(t.is_reference)},
+      {"dist_column", Str(t.dist_column)},
+      {"dist_col_index", Num(t.dist_col_index)},
+      {"dist_col_type", Num(static_cast<double>(t.dist_col_type))},
+      {"colocation_id", Num(t.colocation_id)},
+      {"columnar_shards", sql::Json::MakeBool(t.columnar_shards)},
+      {"approx_rows", Num(static_cast<double>(t.approx_rows))},
+      {"approx_bytes", Num(static_cast<double>(t.approx_bytes))},
+      {"modified_version", Num(static_cast<double>(t.modified_version))},
+      {"shards", sql::Json::MakeArray(std::move(shards))},
+      {"replica_nodes", sql::Json::MakeArray(std::move(replicas))},
+      {"post_ddl", sql::Json::MakeArray(std::move(ddl))},
+  });
+}
+
+Result<CitusTable> DeserializeTable(const sql::JsonPtr& j) {
+  auto field = [&](const char* key) -> Result<sql::JsonPtr> {
+    sql::JsonPtr v = j->GetField(key);
+    if (v == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("metadata payload table missing field '%s'", key));
+    }
+    return v;
+  };
+  CitusTable t;
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr name, field("name"));
+  t.name = name->string_value();
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr is_ref, field("is_reference"));
+  t.is_reference = is_ref->bool_value();
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr dist_col, field("dist_column"));
+  t.dist_column = dist_col->string_value();
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr idx, field("dist_col_index"));
+  t.dist_col_index = static_cast<int>(idx->number_value());
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr type, field("dist_col_type"));
+  t.dist_col_type = static_cast<sql::TypeId>(
+      static_cast<int>(type->number_value()));
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr coloc, field("colocation_id"));
+  t.colocation_id = static_cast<int>(coloc->number_value());
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr columnar, field("columnar_shards"));
+  t.columnar_shards = columnar->bool_value();
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr rows, field("approx_rows"));
+  t.approx_rows = static_cast<int64_t>(rows->number_value());
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr bytes, field("approx_bytes"));
+  t.approx_bytes = static_cast<int64_t>(bytes->number_value());
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr modv, field("modified_version"));
+  t.modified_version = static_cast<uint64_t>(modv->number_value());
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr shards, field("shards"));
+  for (const sql::JsonPtr& s : shards->array_items()) {
+    ShardInterval si;
+    sql::JsonPtr id = s->GetField("id");
+    sql::JsonPtr min = s->GetField("min");
+    sql::JsonPtr max = s->GetField("max");
+    sql::JsonPtr placement = s->GetField("placement");
+    if (!id || !min || !max || !placement) {
+      return Status::InvalidArgument("metadata payload shard malformed");
+    }
+    si.shard_id = static_cast<uint64_t>(id->number_value());
+    si.min_hash = static_cast<int32_t>(min->number_value());
+    si.max_hash = static_cast<int32_t>(max->number_value());
+    si.placement = placement->string_value();
+    t.shards.push_back(std::move(si));
+  }
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr replicas, field("replica_nodes"));
+  for (const sql::JsonPtr& r : replicas->array_items()) {
+    t.replica_nodes.push_back(r->string_value());
+  }
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr ddl, field("post_ddl"));
+  for (const sql::JsonPtr& d : ddl->array_items()) {
+    t.post_ddl.push_back(d->string_value());
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string SerializeMetadataPayload(const CitusMetadata& md,
+                                     uint64_t peer_version) {
+  std::vector<sql::JsonPtr> workers;
+  workers.reserve(md.workers.size());
+  for (const std::string& w : md.workers) workers.push_back(Str(w));
+  std::vector<sql::JsonPtr> names;
+  std::vector<sql::JsonPtr> tables;
+  for (const auto& [name, t] : md.tables()) {
+    names.push_back(Str(name));
+    // Incremental: ship only tables the peer has not seen. A table touched
+    // at version V is stamped modified_version = V, and a peer that applied
+    // V already holds it.
+    if (t.modified_version > peer_version) {
+      tables.push_back(SerializeTable(t));
+    }
+  }
+  std::vector<sql::JsonPtr> procedures;
+  for (const auto& [name, p] : md.procedures) {
+    procedures.push_back(sql::Json::MakeObject({
+        {"name", Str(p.name)},
+        {"dist_arg_index", Num(p.dist_arg_index)},
+        {"colocated_table", Str(p.colocated_table)},
+    }));
+  }
+  sql::JsonPtr payload = sql::Json::MakeObject({
+      {"version", Num(static_cast<double>(md.cluster_version()))},
+      {"default_shard_count", Num(md.default_shard_count)},
+      {"workers", sql::Json::MakeArray(std::move(workers))},
+      {"table_names", sql::Json::MakeArray(std::move(names))},
+      {"tables", sql::Json::MakeArray(std::move(tables))},
+      {"procedures", sql::Json::MakeArray(std::move(procedures))},
+  });
+  return payload->ToString();
+}
+
+Status ApplyMetadataPayload(CitusExtension* ext, const std::string& json) {
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr payload, sql::Json::Parse(json));
+  sql::JsonPtr workers = payload->GetField("workers");
+  sql::JsonPtr names = payload->GetField("table_names");
+  sql::JsonPtr tables = payload->GetField("tables");
+  sql::JsonPtr procedures = payload->GetField("procedures");
+  sql::JsonPtr shard_count = payload->GetField("default_shard_count");
+  if (!workers || !names || !tables || !procedures || !shard_count) {
+    return Status::InvalidArgument("metadata payload missing sections");
+  }
+  CitusMetadata& md = ext->metadata();
+  md.default_shard_count = static_cast<int>(shard_count->number_value());
+  md.workers.clear();
+  for (const sql::JsonPtr& w : workers->array_items()) {
+    md.workers.push_back(w->string_value());
+  }
+  for (const sql::JsonPtr& t : tables->array_items()) {
+    CITUSX_ASSIGN_OR_RETURN(CitusTable table, DeserializeTable(t));
+    ext->RegisterShellTable(table.name);
+    md.ApplySyncedTable(std::move(table));
+  }
+  std::set<std::string> keep;
+  for (const sql::JsonPtr& n : names->array_items()) {
+    keep.insert(n->string_value());
+    // Every distributed table has a local shell on this node; record that
+    // so a later stale window refuses to answer from the empty shell.
+    ext->RegisterShellTable(n->string_value());
+  }
+  md.ReconcileTables(keep);
+  ext->ReconcileShellTables(keep);
+  md.procedures.clear();
+  for (const sql::JsonPtr& p : procedures->array_items()) {
+    sql::JsonPtr name = p->GetField("name");
+    sql::JsonPtr arg = p->GetField("dist_arg_index");
+    sql::JsonPtr table = p->GetField("colocated_table");
+    if (!name || !arg || !table) {
+      return Status::InvalidArgument("metadata payload procedure malformed");
+    }
+    DistributedProcedure proc;
+    proc.name = name->string_value();
+    proc.dist_arg_index = static_cast<int>(arg->number_value());
+    proc.colocated_table = table->string_value();
+    md.procedures[proc.name] = std::move(proc);
+  }
+  if (ext->metric_mx_sync_applied != nullptr) {
+    ext->metric_mx_sync_applied->Inc();
+  }
+  return Status::OK();
+}
+
+Status CitusExtension::SyncMetadataToNode(const std::string& target) {
+  if (!IsMetadataAuthority()) {
+    return Status::NotSupported(
+        "metadata sync must originate on the coordinator");
+  }
+  if (target == node_->name()) return Status::OK();
+  engine::Node* target_node = directory_->Find(target);
+  if (target_node == nullptr) {
+    return Status::NotFound("unknown node: " + target);
+  }
+  const uint64_t version = metadata_->cluster_version();
+  NodeSyncState& state = sync_states_[target];
+  state.attempts++;
+  metric_mx_sync_rounds->Inc();
+  auto fire_hook = [&](MetadataSyncPoint point) -> Status {
+    if (metadata_sync_fault_hook) return metadata_sync_fault_hook(target, point);
+    return Status::OK();
+  };
+  auto run = [&]() -> Status {
+    CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kBeforeBegin));
+    CITUSX_ASSIGN_OR_RETURN(std::unique_ptr<net::Connection> conn,
+                            directory_->Connect(node_, target));
+    const std::string ver = std::to_string(version);
+    CITUSX_ASSIGN_OR_RETURN(
+        engine::QueryResult begin,
+        conn->Query("SELECT citus_internal_metadata_sync_begin('" + ver +
+                    "')"));
+    state.round_trips++;
+    uint64_t peer_version = 0;
+    if (!begin.rows.empty() && !begin.rows[0].empty()) {
+      peer_version = static_cast<uint64_t>(begin.rows[0][0].AsInt64());
+    }
+    CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kAfterBegin));
+    const std::string payload =
+        SerializeMetadataPayload(*metadata_, peer_version);
+    CITUSX_RETURN_IF_ERROR(
+        conn->Query("SELECT citus_internal_metadata_apply(" +
+                    QuoteSqlLiteral(payload) + ")")
+            .status());
+    state.round_trips++;
+    CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kAfterApply));
+    CITUSX_RETURN_IF_ERROR(
+        conn->Query("SELECT citus_internal_metadata_sync_finish('" + ver +
+                    "')")
+            .status());
+    state.round_trips++;
+    return Status::OK();
+  };
+  Status status = run();
+  if (!status.ok()) {
+    // The target's copy may be half-applied: it stays marked unsynced (the
+    // begin round trip cleared its synced flag) and refuses MX routing
+    // until a later round completes. Never a wrong answer.
+    state.synced = false;
+    metric_mx_sync_failures->Inc();
+    return status;
+  }
+  state.version = version;
+  state.target_epoch = target_node->restart_epoch();
+  state.synced = true;
+  state.last_sync_time = node_->sim()->now();
+  state.syncs++;
+  return Status::OK();
+}
+
+Result<int> CitusExtension::SyncMetadataToWorkers() {
+  if (!IsMetadataAuthority()) {
+    return Status::NotSupported(
+        "metadata sync must originate on the coordinator");
+  }
+  int synced = 0;
+  Status first_error = Status::OK();
+  for (const std::string& worker : metadata_->workers) {
+    if (worker == node_->name()) continue;
+    Status status = SyncMetadataToNode(worker);
+    if (status.ok()) {
+      synced++;
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  // Partial success is success: reachable nodes are current, unreachable
+  // ones are marked unsynced and the maintenance daemon retries them. Only
+  // a round that synced nobody while someone failed reports the error.
+  if (synced == 0 && !first_error.ok() && !metadata_->workers.empty()) {
+    return first_error;
+  }
+  return synced;
+}
+
+void CitusExtension::MaybeSyncMetadata() {
+  if (!IsMetadataAuthority() || !config_.enable_metadata_sync) return;
+  CITUSX_IGNORE_STATUS(
+      SyncMetadataToWorkers().status(),
+      "auto-sync after a metadata change is best-effort; nodes that "
+      "missed it are unsynced and the maintenance daemon retries them");
+}
+
+bool CitusExtension::AnyMetadataSyncPending() const {
+  if (!IsMetadataAuthority()) return false;
+  const uint64_t version = metadata_->cluster_version();
+  for (const std::string& worker : metadata_->workers) {
+    if (worker == node_->name()) continue;
+    auto it = sync_states_.find(worker);
+    if (it == sync_states_.end()) return true;
+    const NodeSyncState& state = it->second;
+    if (!state.synced || state.version != version) return true;
+    engine::Node* target = directory_->Find(worker);
+    if (target != nullptr && target->restart_epoch() != state.target_epoch) {
+      // The node restarted since we synced it: its in-memory synced marker
+      // was cleared on restart, so it refuses MX routing until re-synced.
+      return true;
+    }
+  }
+  return false;
+}
+
+Status CitusExtension::StampPeerMetadataVersion(WorkerConnection* wc) {
+  const uint64_t version = metadata_->cluster_version();
+  if (wc->stamped_version == version) return Status::OK();
+  CITUSX_RETURN_IF_ERROR(
+      wc->conn
+          ->Query("SET citus.metadata_peer_version = '" +
+                  std::to_string(version) + "'")
+          .status());
+  wc->stamped_version = version;
+  return Status::OK();
+}
+
+Status CitusExtension::CheckPeerMetadataVersion(engine::Session& session) {
+  const std::string& var = session.GetVar("citus.metadata_peer_version");
+  if (var.empty()) return Status::OK();
+  CitusSessionState& state = SessionState(session);
+  if (state.peer_version_str != var) {
+    state.peer_version_str = var;
+    state.peer_version = std::strtoull(var.c_str(), nullptr, 10);
+  }
+  metadata_->NoteObservedVersion(state.peer_version);
+  if (state.peer_version < metadata_->cluster_version()) {
+    // The sending peer routed this statement with catalogs older than ours
+    // — its shard placements may be wrong (e.g. a shard we moved away).
+    // Reject retryably; the peer re-plans once it has been re-synced.
+    return MxStaleRejection(StrFormat(
+        "peer version %llu behind %s version %llu",
+        static_cast<unsigned long long>(state.peer_version),
+        node_->name().c_str(),
+        static_cast<unsigned long long>(metadata_->cluster_version())));
+  }
+  return Status::OK();
+}
+
+Status CitusExtension::MxStaleRejection(const std::string& detail) {
+  metric_mx_rejections->Inc();
+  return Status::Aborted(StrFormat(
+      "%s: %s; retry after metadata sync", kStaleMetadataError,
+      detail.c_str()));
+}
+
+}  // namespace citusx::citus

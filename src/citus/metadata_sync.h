@@ -1,0 +1,45 @@
+// Metadata syncing (§3.10, Citus MX): payload serialization helpers shared
+// by the authority-side syncer (metadata_sync.cc) and the worker-side
+// internal UDFs that apply a payload (udf.cc). The protocol itself is three
+// round trips driven by CitusExtension::SyncMetadataToNode:
+//
+//   1. SELECT citus_internal_metadata_sync_begin('<version>')
+//        marks the peer's copy unsynced, returns the version it last
+//        applied (for incremental payloads)
+//   2. SELECT citus_internal_metadata_apply('<json payload>')
+//        replaces tables changed since that version, reconciles drops,
+//        refreshes workers / procedures / shell registrations
+//   3. SELECT citus_internal_metadata_sync_finish('<version>')
+//        publishes the new version and re-marks the copy synced
+//
+// A failure at any point leaves the peer unsynced; it refuses MX routing
+// (never answers from a half-applied copy) until the maintenance daemon or
+// a manual citus_sync_metadata() completes a full round.
+#ifndef CITUSX_CITUS_METADATA_SYNC_H_
+#define CITUSX_CITUS_METADATA_SYNC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "citus/metadata.h"
+#include "common/status.h"
+
+namespace citusx::citus {
+
+class CitusExtension;
+
+/// Serialize `md` into the sync payload JSON. Only tables with
+/// modified_version > peer_version are included in "tables"; "table_names"
+/// always lists the full catalog so the receiver can reconcile drops.
+std::string SerializeMetadataPayload(const CitusMetadata& md,
+                                     uint64_t peer_version);
+
+/// Apply a sync payload to `ext`'s local metadata copy (worker side).
+/// Registers every listed table as a shell and drops local tables absent
+/// from the payload's full name list. Does not publish a version — that is
+/// sync_finish's job, after the apply succeeded.
+Status ApplyMetadataPayload(CitusExtension* ext, const std::string& json);
+
+}  // namespace citusx::citus
+
+#endif  // CITUSX_CITUS_METADATA_SYNC_H_

@@ -377,6 +377,16 @@ Result<std::optional<engine::QueryResult>> TryPlanCacheExecution(
       return not_handled;
   }
 
+  // MX belt-and-braces: the planner gate already rejects statements on a
+  // node without current synced metadata before the cache is consulted;
+  // re-check here so a cached plan can never route from an unsynced copy
+  // if a future caller reaches the cache directly. Cross-node
+  // invalidation needs no extra plumbing — FinishSync bumps this node's
+  // generation, so the snapshot checks below drop every pre-sync plan.
+  if (!ext->MxReady()) {
+    return ext->MxStaleRejection("cached distributed plan on node " +
+                                 ext->node()->name());
+  }
   CitusSessionState& state = ext->SessionState(session);
   const uint64_t gen = ext->metadata().generation();
   engine::PreparedStatement* prep = session.active_prepared();

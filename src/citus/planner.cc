@@ -756,7 +756,33 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::PlanAndExecute(
   CITUSX_ASSIGN_OR_RETURN(std::optional<engine::QueryResult> view,
                           MaybeExecuteStatView(ext_, session, stmt, params));
   if (view.has_value()) return view;
+  // MX receiver guard (§3.10): statements arriving from a peer whose synced
+  // metadata is older than ours may be routed to shards we no longer hold
+  // (e.g. after a move). Reject before any analysis — shard-level SQL does
+  // not reference logical tables, so this check is its only protection.
+  CITUSX_RETURN_IF_ERROR(ext_->CheckPeerMetadataVersion(session));
   TableAnalysis analysis = AnalyzeTables(ext_->metadata(), stmt);
+  // MX routing gate: a non-authority node may coordinate distributed
+  // queries only with a fully synced metadata copy. The shell-registry
+  // check closes the wrong-answer hole where a stale copy no longer (or
+  // never) lists a distributed table and the statement would otherwise
+  // fall through to the empty local shell.
+  if (!ext_->IsMetadataAuthority()) {
+    bool touches_distributed = analysis.HasCitusTables();
+    for (const std::string& name : analysis.local) {
+      touches_distributed |= ext_->IsShellTable(name);
+    }
+    if (touches_distributed && !ext_->MxReady()) {
+      return ext_->MxStaleRejection(StrFormat(
+          "node %s has no current synced metadata (version %llu, synced "
+          "%s, highest observed %llu)",
+          ext_->node()->name().c_str(),
+          static_cast<unsigned long long>(ext_->metadata().cluster_version()),
+          ext_->metadata().mx_synced() ? "yes" : "no",
+          static_cast<unsigned long long>(
+              ext_->metadata().known_cluster_version())));
+    }
+  }
   if (!analysis.HasCitusTables()) return std::optional<engine::QueryResult>();
   if (!analysis.local.empty()) {
     return Status::NotSupported(

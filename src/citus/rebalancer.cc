@@ -127,12 +127,18 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
         "shard move aborted: target " + target + " went down"));
   }
   // Metadata flip: new queries now go to the target placement. Bump the
-  // metadata generation so cached distributed plans stop routing to the
-  // old placement.
+  // cluster version so cached distributed plans stop routing to the old
+  // placement — on this node via the generation, on every other node via
+  // the metadata sync that follows the move (a worker that misses the sync
+  // is marked unsynced and refuses MX routing rather than chase the old
+  // placement).
   for (CitusTable* table : tables) {
     table->shards[static_cast<size_t>(shard_index)].placement = target;
   }
-  ext_->metadata().BumpGeneration();
+  ext_->metadata().BumpClusterVersion();
+  for (CitusTable* table : tables) {
+    ext_->metadata().TouchTable(table);
+  }
   auto rc = src_conn->conn->Query("COMMIT");
   src_conn->txn_open = false;
   last_move_blocked_time = ext_->node()->sim()->now() - block_start;
@@ -147,6 +153,7 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
       old_tables.push_back(table->ShardName(shard_id));
     }
     ext_->AddDeferredCleanup(source, std::move(old_tables));
+    ext_->MaybeSyncMetadata();
     return Status::OK();
   }
 
@@ -160,6 +167,7 @@ Status Rebalancer::MoveShardGroup(engine::Session& session, int colocation_id,
         "old placement cleanup is best-effort; an orphaned shard is "
         "unreachable once metadata points at the new placement");
   }
+  ext_->MaybeSyncMetadata();
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@ constexpr const char* kStatStatements = "citus_stat_statements";
 constexpr const char* kStatActivity = "citus_stat_activity";
 constexpr const char* kStatPlanCache = "citus_stat_plan_cache";
 constexpr const char* kStatFailures = "citus_stat_failures";
+constexpr const char* kStatMetadataSync = "citus_stat_metadata_sync";
 
 void CollectNames(const sql::TableRef& ref, std::set<std::string>* out) {
   switch (ref.kind) {
@@ -106,12 +107,14 @@ engine::TempRelation BuildStatFailures(CitusExtension* ext) {
                       "connection_drops",   "statement_timeouts",
                       "admission_rejected", "task_retries",
                       "failovers",          "pruned_connections",
-                      "partial_failures",   "recovered_txns"};
+                      "partial_failures",   "recovered_txns",
+                      "stale_metadata_rejections"};
   rel.column_types = {sql::TypeId::kText, sql::TypeId::kInt8,
                       sql::TypeId::kInt8, sql::TypeId::kInt8,
                       sql::TypeId::kInt8, sql::TypeId::kInt8,
                       sql::TypeId::kInt8, sql::TypeId::kInt8,
-                      sql::TypeId::kInt8, sql::TypeId::kInt8};
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8};
   sim::Simulation* sim = ext->node()->sim();
   for (const std::string& name : ext->directory().names()) {
     engine::Node* node = ext->directory().Find(name);
@@ -131,7 +134,49 @@ engine::TempRelation BuildStatFailures(CitusExtension* ext) {
              m.counter("citus.failures.pruned_connections")->value()),
          sql::Datum::Int8(
              m.counter("citus.failures.partial_failures")->value()),
-         sql::Datum::Int8(m.counter("citus.2pc.recovered")->value())});
+         sql::Datum::Int8(m.counter("citus.2pc.recovered")->value()),
+         sql::Datum::Int8(m.counter("citus.mx.stale_rejections")->value())});
+  }
+  return rel;
+}
+
+// MX metadata sync state. On the authority: one row per known worker with
+// the sync bookkeeping (version shipped, epoch, round-trips). On a replica:
+// a single self row describing the local copy, so `SELECT * FROM
+// citus_stat_metadata_sync` is meaningful wherever it runs.
+engine::TempRelation BuildStatMetadataSync(CitusExtension* ext) {
+  engine::TempRelation rel;
+  rel.column_names = {"node_name",  "is_authority", "synced",
+                      "version",    "last_sync_time_ms",
+                      "round_trips", "syncs", "attempts"};
+  rel.column_types = {sql::TypeId::kText,   sql::TypeId::kInt8,
+                      sql::TypeId::kInt8,   sql::TypeId::kInt8,
+                      sql::TypeId::kFloat8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8,   sql::TypeId::kInt8};
+  const CitusMetadata& md = ext->metadata();
+  if (ext->IsMetadataAuthority()) {
+    rel.rows.push_back({sql::Datum::Text(ext->node()->name()),
+                        sql::Datum::Int8(1), sql::Datum::Int8(1),
+                        sql::Datum::Int8(static_cast<int64_t>(
+                            md.cluster_version())),
+                        sql::Datum::Null(), sql::Datum::Int8(0),
+                        sql::Datum::Int8(0), sql::Datum::Int8(0)});
+    for (const auto& [name, state] : ext->sync_states()) {
+      rel.rows.push_back(
+          {sql::Datum::Text(name), sql::Datum::Int8(0),
+           sql::Datum::Int8(state.synced ? 1 : 0),
+           sql::Datum::Int8(static_cast<int64_t>(state.version)),
+           sql::Datum::Float8(static_cast<double>(state.last_sync_time) / 1e6),
+           sql::Datum::Int8(state.round_trips), sql::Datum::Int8(state.syncs),
+           sql::Datum::Int8(state.attempts)});
+    }
+  } else {
+    rel.rows.push_back(
+        {sql::Datum::Text(ext->node()->name()), sql::Datum::Int8(0),
+         sql::Datum::Int8(md.mx_synced() ? 1 : 0),
+         sql::Datum::Int8(static_cast<int64_t>(md.cluster_version())),
+         sql::Datum::Null(), sql::Datum::Int8(0), sql::Datum::Int8(0),
+         sql::Datum::Int8(0)});
   }
   return rel;
 }
@@ -151,14 +196,16 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   bool wants_activity = names.count(kStatActivity) > 0;
   bool wants_plan_cache = names.count(kStatPlanCache) > 0;
   bool wants_failures = names.count(kStatFailures) > 0;
+  bool wants_metadata_sync = names.count(kStatMetadataSync) > 0;
   if (!wants_statements && !wants_activity && !wants_plan_cache &&
-      !wants_failures) {
+      !wants_failures && !wants_metadata_sync) {
     return std::optional<engine::QueryResult>();
   }
   engine::TempRelation statements;
   engine::TempRelation activity;
   engine::TempRelation plan_cache;
   engine::TempRelation failures;
+  engine::TempRelation metadata_sync;
   std::map<std::string, const engine::TempRelation*> temps;
   if (wants_statements) {
     statements = BuildStatStatements(ext);
@@ -175,6 +222,10 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   if (wants_failures) {
     failures = BuildStatFailures(ext);
     temps[kStatFailures] = &failures;
+  }
+  if (wants_metadata_sync) {
+    metadata_sync = BuildStatMetadataSync(ext);
+    temps[kStatMetadataSync] = &metadata_sync;
   }
   CITUSX_ASSIGN_OR_RETURN(
       engine::QueryResult r,

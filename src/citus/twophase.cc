@@ -74,6 +74,16 @@ Status CitusExtension::PreCommit(engine::Session& session) {
     }
   }
   if (open.empty()) return Status::OK();
+  // MX (§3.10): a worker-originated distributed transaction must not enter
+  // the commit protocol through a metadata copy that went stale mid-flight
+  // (e.g. this node restarted or observed a newer version) — the retryable
+  // rejection aborts the transaction so the client replays it against
+  // freshly synced placements.
+  if (!IsMetadataAuthority() && !MxReady()) {
+    return MxStaleRejection(
+        "node " + node_->name() +
+        " lost its synced metadata before distributed commit");
+  }
 
   std::vector<WorkerConnection*> writers, readers;
   for (WorkerConnection* wc : open) {

@@ -1,6 +1,9 @@
 // Citus UDFs (§3.3): create_distributed_table, create_reference_table,
 // co-location, procedure delegation registration, rebalancing entry points,
 // and the consistent restore point.
+#include <cstdlib>
+
+#include "citus/metadata_sync.h"
 #include "citus/planner.h"
 #include "citus/rebalancer.h"
 #include "sql/deparser.h"
@@ -52,6 +55,15 @@ Status PropagateShellTable(CitusExtension* ext, engine::Session& session,
     t.sql = ddl;
     t.is_write = true;
     tasks.push_back(std::move(t));
+    // Record on the worker that this relation is a distributed-table shell,
+    // so a worker with stale (or no) synced metadata refuses statements
+    // against it instead of answering from the empty local relation.
+    Task reg;
+    reg.index = index++;
+    reg.worker = worker;
+    reg.sql = "SELECT citus_internal_register_shell('" + table_name + "')";
+    reg.is_write = true;
+    tasks.push_back(std::move(reg));
   }
   CITUSX_RETURN_IF_ERROR(
       executor.Execute(session, std::move(tasks)).status());
@@ -212,9 +224,12 @@ void CitusExtension::RegisterUdfs() {
       }
     }
     CitusTable* stored = ext->metadata().Add(std::move(table));
+    ext->metadata().BumpClusterVersion();
+    ext->metadata().TouchTable(stored);
     CITUSX_RETURN_IF_ERROR(PropagateShellTable(ext, session, stored->name));
     CITUSX_RETURN_IF_ERROR(CreateShards(ext, session, stored));
     CITUSX_RETURN_IF_ERROR(MigrateExistingRows(ext, session, stored));
+    ext->MaybeSyncMetadata();
     return sql::Datum::Null();
   };
 
@@ -252,6 +267,8 @@ void CitusExtension::RegisterUdfs() {
     }
     if (!coord_listed) table.replica_nodes.push_back(ext->node()->name());
     CitusTable* stored = ext->metadata().Add(std::move(table));
+    ext->metadata().BumpClusterVersion();
+    ext->metadata().TouchTable(stored);
     CITUSX_RETURN_IF_ERROR(PropagateShellTable(ext, session, stored->name));
     // Create the replica shard on every node.
     AdaptiveExecutor executor(ext);
@@ -273,6 +290,7 @@ void CitusExtension::RegisterUdfs() {
     CITUSX_RETURN_IF_ERROR(
         executor.Execute(session, std::move(tasks)).status());
     CITUSX_RETURN_IF_ERROR(MigrateExistingRows(ext, session, stored));
+    ext->MaybeSyncMetadata();
     return sql::Datum::Null();
   };
 
@@ -283,6 +301,10 @@ void CitusExtension::RegisterUdfs() {
       return Status::InvalidArgument(
           "create_distributed_procedure(name, dist_arg_index, table)");
     }
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
     DistributedProcedure proc;
     proc.name = args[0].ToText();
     proc.dist_arg_index = static_cast<int>(args[1].AsInt64());
@@ -291,6 +313,8 @@ void CitusExtension::RegisterUdfs() {
       return Status::NotFound("table does not exist: " + proc.colocated_table);
     }
     ext->metadata().procedures[proc.name] = proc;
+    ext->metadata().BumpClusterVersion();
+    ext->MaybeSyncMetadata();
     return sql::Datum::Null();
   };
 
@@ -338,7 +362,7 @@ void CitusExtension::RegisterUdfs() {
       }
     }
     ext->metadata().workers.push_back(name);
-    ext->metadata().BumpGeneration();
+    ext->metadata().BumpClusterVersion();
     // Sync schema to the new node: shells for every Citus table, plus a
     // replica of every reference table. Shards move only when the user
     // rebalances (§3.4).
@@ -384,8 +408,12 @@ void CitusExtension::RegisterUdfs() {
               wc->conn->CopyIn(shard, {}, std::move(rows)).status());
         }
         table.replica_nodes.push_back(name);
+        ext->metadata().TouchTable(&table);
       }
     }
+    // Push full metadata to every node (including the new one) so any of
+    // them can start coordinating immediately.
+    ext->MaybeSyncMetadata();
     return sql::Datum::Null();
   };
 
@@ -417,6 +445,9 @@ void CitusExtension::RegisterUdfs() {
       }
     }
     // Drop reference-table replicas living on the node, then forget it.
+    // The version bump precedes the per-table touches below so incremental
+    // sync ships the shrunken replica lists.
+    ext->metadata().BumpClusterVersion();
     AdaptiveExecutor executor(ext);
     for (auto& [tname, table] : ext->metadata().mutable_tables()) {
       if (!table.is_reference) continue;
@@ -440,6 +471,7 @@ void CitusExtension::RegisterUdfs() {
         tasks.push_back(std::move(t));
         CITUSX_RETURN_IF_ERROR(
             executor.Execute(session, std::move(tasks)).status());
+        ext->metadata().TouchTable(&table);
       }
     }
     for (auto it = workers.begin(); it != workers.end();) {
@@ -449,7 +481,80 @@ void CitusExtension::RegisterUdfs() {
         ++it;
       }
     }
-    ext->metadata().BumpGeneration();
+    ext->ForgetSyncState(name);
+    ext->MaybeSyncMetadata();
+    return sql::Datum::Null();
+  };
+
+  // ---- metadata syncing (§3.10, Citus MX) ----
+
+  udfs["start_metadata_sync_to_node"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) {
+      return Status::InvalidArgument("start_metadata_sync_to_node(name)");
+    }
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    CITUSX_RETURN_IF_ERROR(ext->SyncMetadataToNode(args[0].ToText()));
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_sync_metadata"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (!ext->config().is_coordinator) {
+      return Status::InvalidArgument(
+          "operation is not allowed on a worker node");
+    }
+    CITUSX_ASSIGN_OR_RETURN(int synced, ext->SyncMetadataToWorkers());
+    return sql::Datum::Int8(synced);
+  };
+
+  // Internal protocol UDFs, invoked by the authority's syncer on the
+  // receiving node (see metadata_sync.h for the three-phase protocol).
+  udfs["citus_internal_metadata_sync_begin"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    // Mark the copy unsynced for the apply window and report the version
+    // last applied, so the authority ships an incremental payload.
+    return sql::Datum::Int8(
+        static_cast<int64_t>(ext->metadata().BeginSync()));
+  };
+
+  udfs["citus_internal_metadata_apply"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) {
+      return Status::InvalidArgument(
+          "citus_internal_metadata_apply(payload)");
+    }
+    CITUSX_RETURN_IF_ERROR(ApplyMetadataPayload(ext, args[0].ToText()));
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_internal_metadata_sync_finish"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) {
+      return Status::InvalidArgument(
+          "citus_internal_metadata_sync_finish(version)");
+    }
+    uint64_t version =
+        std::strtoull(args[0].ToText().c_str(), nullptr, 10);
+    ext->metadata().FinishSync(version);
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_internal_register_shell"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) {
+      return Status::InvalidArgument("citus_internal_register_shell(table)");
+    }
+    ext->RegisterShellTable(args[0].ToText());
     return sql::Datum::Null();
   };
 

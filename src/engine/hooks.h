@@ -63,6 +63,11 @@ struct ExtensionHooks {
   std::function<void(Session&)> post_commit;
   std::function<void(Session&)> post_abort;
 
+  /// Fired when the node comes back up after a crash (Node::Restart), so
+  /// an extension can invalidate state it must not trust across a restart
+  /// (e.g. the Citus MX synced-metadata marker).
+  std::function<void(Node&)> on_restart;
+
   /// SELECT-able UDFs (create_distributed_table etc.).
   std::map<std::string, Udf> udfs;
 

@@ -144,7 +144,10 @@ void Node::Crash() {
   }
 }
 
-void Node::Restart() { down_ = false; }
+void Node::Restart() {
+  down_ = false;
+  if (hooks_.on_restart) hooks_.on_restart(*this);
+}
 
 bool Node::WalFlush() {
   constexpr int kGroupCommitBatch = 4;

@@ -531,6 +531,64 @@ TEST_F(ChaosTest, ShardMoveAbortsCleanlyWhenTargetDies) {
   sim_.Run();
 }
 
+// A worker that crashes mid-metadata-sync comes back stale: it refuses MX
+// routing (retryable error, never a wrong answer) until the maintenance
+// daemon re-syncs it, after which it coordinates correctly again.
+TEST_F(ChaosTest, CrashDuringMetadataSyncLeavesNodeStaleUntilResync) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.citus.deadlock_poll_interval = 1 * sim::kSecond;
+  Deploy(options);
+  sim_.Spawn("test", [&] {
+    auto conn = deploy_->Connect();
+    ASSERT_TRUE(conn.ok());
+    int64_t k1 = 0, k2 = 0;
+    SetupPairTable(**conn, &k1, &k2);
+    CitusExtension* ext = CoordinatorExt();
+    // Crash worker1 right after the sync round marked it unsynced (begin
+    // done, payload never shipped): the round fails mid-flight.
+    bool fired = false;
+    ext->metadata_sync_fault_hook = [&](const std::string& target,
+                                        MetadataSyncPoint point) {
+      if (target == "worker1" && point == MetadataSyncPoint::kAfterBegin &&
+          !fired) {
+        fired = true;
+        sim_.faults().Crash("worker1");
+      }
+      return Status::OK();
+    };
+    auto sync = (*conn)->Query("SELECT citus_sync_metadata()");
+    ASSERT_TRUE(sync.ok()) << sync.status().ToString();
+    EXPECT_EQ(sync->rows[0][0].int_value(), 1);  // only worker2 made it
+    ASSERT_TRUE(fired);
+    ext->metadata_sync_fault_hook = nullptr;
+    EXPECT_GE(ext->metric_mx_sync_failures->value(), 1);
+    sim_.faults().Restart("worker1");
+    // Back up but stale: a direct query must be refused retryably.
+    CitusExtension* wext = deploy_->extension(
+        deploy_->cluster().directory().Find("worker1"));
+    EXPECT_FALSE(wext->MxReady());
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    auto r = (*wconn)->Query(StrFormat("SELECT v FROM t WHERE key = %lld",
+                                       static_cast<long long>(k1)));
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsStaleMetadataStatus(r.status())) << r.status().ToString();
+    EXPECT_EQ(r.status().error_class(), ErrorClass::kRetryableTransient);
+    // The maintenance daemon notices (failed round + restart epoch) and
+    // re-syncs within a couple of poll rounds.
+    sim_.WaitFor(3 * sim::kSecond);
+    EXPECT_TRUE(wext->MxReady());
+    auto healed = deploy_->Connect("worker1");
+    ASSERT_TRUE(healed.ok());
+    auto r2 = (*healed)->Query(StrFormat("SELECT v FROM t WHERE key = %lld",
+                                         static_cast<long long>(k1)));
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    EXPECT_EQ(r2->rows[0][0].int_value(), 0);
+  });
+  sim_.Run();
+}
+
 TEST_F(ChaosTest, StatFailuresViewExposesFailureCounters) {
   DeploymentOptions options;
   options.num_workers = 2;

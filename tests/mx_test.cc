@@ -1,0 +1,521 @@
+// Citus MX tests (§3.10): metadata syncing to workers and any-node
+// coordination — router reads/writes and multi-shard queries via workers
+// match coordinator-originated results, worker-originated 2PC, stale-node
+// rejection (never wrong answers), re-sync healing, the sync admin UDFs,
+// and the citus_stat_metadata_sync view.
+#include <gtest/gtest.h>
+
+#include "citus/deploy.h"
+#include "citus/rebalancer.h"
+#include "common/str.h"
+#include "sim/fault.h"
+
+namespace citusx::citus {
+namespace {
+
+using engine::QueryResult;
+
+class MxTest : public ::testing::Test {
+ protected:
+  void Deploy(const DeploymentOptions& options) {
+    deploy_ = std::make_unique<Deployment>(&sim_, options);
+  }
+
+  void MakeDeployment(int workers) {
+    DeploymentOptions options;
+    options.num_workers = workers;
+    Deploy(options);
+  }
+
+  void RunSim(std::function<void()> fn) {
+    sim_.Spawn("test", std::move(fn));
+    sim_.Run();
+  }
+
+  QueryResult MustQuery(net::Connection& conn, const std::string& sql) {
+    auto r = conn.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  // Placement worker of `key` in distributed table `table`.
+  std::string WorkerOf(const std::string& table, int64_t key) {
+    const CitusTable* ct = deploy_->metadata().Find(table);
+    int idx = ct->ShardIndexForHash(sql::Datum::Int8(key).PartitionHash());
+    return ct->shards[static_cast<size_t>(idx)].placement;
+  }
+
+  // Smallest key >= `from` whose shard lives on `worker`.
+  int64_t KeyOn(const std::string& table, const std::string& worker,
+                int64_t from = 1) {
+    int64_t key = from;
+    while (WorkerOf(table, key) != worker) key++;
+    return key;
+  }
+
+  CitusExtension* ExtOf(const std::string& name) {
+    return deploy_->extension(deploy_->cluster().directory().Find(name));
+  }
+
+  size_t PreparedCount() {
+    size_t n = 0;
+    for (engine::Node* w : deploy_->workers()) {
+      n += w->txns().PreparedGids().size();
+    }
+    return n;
+  }
+
+  void TearDown() override {
+    sim_.Shutdown();
+    deploy_.reset();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<Deployment> deploy_;
+};
+
+// Router reads and writes through a worker return exactly what the
+// coordinator returns.
+TEST_F(MxTest, WorkerRoutedReadsAndWritesMatchCoordinator) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    for (int i = 0; i < 16; i++) {
+      MustQuery(**cconn, StrFormat("INSERT INTO kv VALUES (%d, 'v%d')", i, i));
+    }
+    auto wconn = deploy_->Connect("worker2");
+    ASSERT_TRUE(wconn.ok());
+    for (int i = 0; i < 16; i++) {
+      QueryResult via_worker =
+          MustQuery(**wconn, StrFormat("SELECT v FROM kv WHERE key = %d", i));
+      QueryResult via_coord =
+          MustQuery(**cconn, StrFormat("SELECT v FROM kv WHERE key = %d", i));
+      ASSERT_EQ(via_worker.rows.size(), 1u) << i;
+      ASSERT_EQ(via_coord.rows.size(), 1u) << i;
+      EXPECT_EQ(via_worker.rows[0][0].text_value(),
+                via_coord.rows[0][0].text_value());
+    }
+    // Worker-routed writes are visible everywhere.
+    MustQuery(**wconn, "UPDATE kv SET v = 'mx' WHERE key = 3");
+    MustQuery(**wconn, "INSERT INTO kv VALUES (100, 'new')");
+    EXPECT_EQ(MustQuery(**cconn, "SELECT v FROM kv WHERE key = 3")
+                  .rows[0][0]
+                  .text_value(),
+              "mx");
+    EXPECT_EQ(MustQuery(**cconn, "SELECT v FROM kv WHERE key = 100")
+                  .rows[0][0]
+                  .text_value(),
+              "new");
+    MustQuery(**wconn, "DELETE FROM kv WHERE key = 100");
+    EXPECT_EQ(MustQuery(**cconn, "SELECT count(*) FROM kv WHERE key = 100")
+                  .rows[0][0]
+                  .int_value(),
+              0);
+  });
+}
+
+// Multi-shard scans, aggregates, and GROUP BY through a worker produce the
+// same answers as through the coordinator.
+TEST_F(MxTest, MultiShardSelectFromWorkerMatchesCoordinator) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn,
+              "CREATE TABLE events (device bigint, kind text, value bigint)");
+    MustQuery(**cconn, "SELECT create_distributed_table('events', 'device')");
+    for (int i = 0; i < 60; i++) {
+      MustQuery(**cconn,
+                StrFormat("INSERT INTO events VALUES (%d, '%s', %d)", i % 6,
+                          i % 2 == 0 ? "click" : "view", i));
+    }
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    for (const char* q :
+         {"SELECT count(*) FROM events", "SELECT sum(value) FROM events",
+          "SELECT count(*) FROM events WHERE kind = 'click'"}) {
+      QueryResult via_worker = MustQuery(**wconn, q);
+      QueryResult via_coord = MustQuery(**cconn, q);
+      ASSERT_EQ(via_worker.rows.size(), 1u) << q;
+      EXPECT_EQ(via_worker.rows[0][0].int_value(),
+                via_coord.rows[0][0].int_value())
+          << q;
+    }
+    QueryResult grouped = MustQuery(
+        **wconn,
+        "SELECT device, count(*) FROM events GROUP BY device ORDER BY device");
+    ASSERT_EQ(grouped.rows.size(), 6u);
+    for (const auto& row : grouped.rows) EXPECT_EQ(row[1].int_value(), 10);
+  });
+}
+
+// A worker can run a multi-node write transaction end to end: it drives the
+// 2PC itself, and nothing stays prepared afterwards.
+TEST_F(MxTest, WorkerOriginatedTwoPhaseCommit) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE t (key bigint PRIMARY KEY, v bigint)");
+    MustQuery(**cconn, "SELECT create_distributed_table('t', 'key')");
+    int64_t k1 = KeyOn("t", "worker1");
+    int64_t k2 = KeyOn("t", "worker2", k1 + 1);
+    MustQuery(**cconn, StrFormat("INSERT INTO t VALUES (%lld, 0), (%lld, 0)",
+                                 static_cast<long long>(k1),
+                                 static_cast<long long>(k2)));
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    MustQuery(**wconn, "BEGIN");
+    MustQuery(**wconn, StrFormat("UPDATE t SET v = 21 WHERE key = %lld",
+                                 static_cast<long long>(k1)));
+    MustQuery(**wconn, StrFormat("UPDATE t SET v = 21 WHERE key = %lld",
+                                 static_cast<long long>(k2)));
+    MustQuery(**wconn, "COMMIT");
+    EXPECT_EQ(PreparedCount(), 0u);
+    EXPECT_EQ(
+        MustQuery(**cconn, "SELECT sum(v) FROM t").rows[0][0].int_value(), 42);
+  });
+}
+
+// With metadata sync disabled nothing reaches the workers: a worker must
+// refuse to coordinate (retryable stale-metadata error), never answer from
+// its empty shell tables. A manual citus_sync_metadata() heals it.
+TEST_F(MxTest, UnsyncedWorkerRefusesMxRoutingUntilManualSync) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.citus.enable_metadata_sync = false;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**cconn, "INSERT INTO kv VALUES (1, 'one')");
+    EXPECT_FALSE(ExtOf("worker1")->MxReady());
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    auto r = (*wconn)->Query("SELECT v FROM kv WHERE key = 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsStaleMetadataStatus(r.status())) << r.status().ToString();
+    EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+    EXPECT_EQ(r.status().error_class(), ErrorClass::kRetryableTransient);
+    EXPECT_GE(ExtOf("worker1")->metric_mx_rejections->value(), 1);
+    // The rejection shows up in citus_stat_failures (last column).
+    QueryResult failures =
+        MustQuery(**cconn, "SELECT * FROM citus_stat_failures");
+    bool saw = false;
+    for (const auto& row : failures.rows) {
+      if (row[0].ToText() == "worker1") {
+        saw = true;
+        EXPECT_GE(row[10].int_value(), 1);
+      }
+    }
+    EXPECT_TRUE(saw);
+    // Heal: one manual sync round from the coordinator.
+    QueryResult synced = MustQuery(**cconn, "SELECT citus_sync_metadata()");
+    EXPECT_EQ(synced.rows[0][0].int_value(), 2);
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    QueryResult ok = MustQuery(**wconn, "SELECT v FROM kv WHERE key = 1");
+    ASSERT_EQ(ok.rows.size(), 1u);
+    EXPECT_EQ(ok.rows[0][0].text_value(), "one");
+  });
+}
+
+// start_metadata_sync_to_node() syncs exactly one node.
+TEST_F(MxTest, StartMetadataSyncToNodeSyncsOneWorker) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.citus.enable_metadata_sync = false;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**cconn, "INSERT INTO kv VALUES (1, 'one')");
+    MustQuery(**cconn, "SELECT start_metadata_sync_to_node('worker1')");
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    EXPECT_FALSE(ExtOf("worker2")->MxReady());
+    auto w1 = deploy_->Connect("worker1");
+    ASSERT_TRUE(w1.ok());
+    EXPECT_EQ(MustQuery(**w1, "SELECT v FROM kv WHERE key = 1")
+                  .rows[0][0]
+                  .text_value(),
+              "one");
+    auto w2 = deploy_->Connect("worker2");
+    ASSERT_TRUE(w2.ok());
+    auto r = (*w2)->Query("SELECT v FROM kv WHERE key = 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsStaleMetadataStatus(r.status())) << r.status().ToString();
+  });
+}
+
+// Every authoritative DDL bumps the cluster version and the auto-sync
+// brings all workers to the same version.
+TEST_F(MxTest, DdlBumpsClusterVersionAndResyncsWorkers) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    uint64_t v0 = deploy_->metadata().cluster_version();
+    MustQuery(**cconn, "CREATE INDEX kv_v ON kv (v)");
+    uint64_t v1 = deploy_->metadata().cluster_version();
+    EXPECT_GT(v1, v0);
+    for (const char* w : {"worker1", "worker2"}) {
+      EXPECT_EQ(ExtOf(w)->metadata().cluster_version(), v1) << w;
+      EXPECT_TRUE(ExtOf(w)->MxReady()) << w;
+    }
+    // Same for TRUNCATE.
+    MustQuery(**cconn, "TRUNCATE kv");
+    uint64_t v2 = deploy_->metadata().cluster_version();
+    EXPECT_GT(v2, v1);
+    EXPECT_EQ(ExtOf("worker1")->metadata().cluster_version(), v2);
+  });
+}
+
+// A worker that observes a newer cluster version on the wire than its own
+// copy (its sync round failed) refuses to coordinate until re-synced.
+TEST_F(MxTest, ObservedNewerVersionMarksWorkerStale) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**cconn, "INSERT INTO kv VALUES (1, 'one')");
+    ASSERT_TRUE(ExtOf("worker1")->MxReady());
+    // Fail every sync round to worker1 from here on: it stays at the old
+    // version while the cluster moves ahead.
+    CitusExtension* cext = ExtOf("coordinator");
+    cext->metadata_sync_fault_hook = [](const std::string& target,
+                                        MetadataSyncPoint point) {
+      if (target == "worker1" && point == MetadataSyncPoint::kBeforeBegin) {
+        return Status::Unavailable("injected sync failure");
+      }
+      return Status::OK();
+    };
+    MustQuery(**cconn, "CREATE INDEX kv_v ON kv (v)");
+    // The failed round never reached worker1, so by its own lights it is
+    // still synced (at the old version).
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    // Route a coordinator-planned statement through worker1: the stamped
+    // version is newer than worker1's copy, raising its watermark.
+    MustQuery(**cconn, "INSERT INTO kv VALUES (2, 'two')");
+    MustQuery(**cconn, "SELECT count(*) FROM kv");
+    EXPECT_GT(ExtOf("worker1")->metadata().known_cluster_version(),
+              ExtOf("worker1")->metadata().cluster_version());
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    auto r = (*wconn)->Query("SELECT v FROM kv WHERE key = 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsStaleMetadataStatus(r.status())) << r.status().ToString();
+    // Heal and verify the worker answers again.
+    cext->metadata_sync_fault_hook = nullptr;
+    MustQuery(**cconn, "SELECT citus_sync_metadata()");
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    EXPECT_EQ(MustQuery(**wconn, "SELECT v FROM kv WHERE key = 1")
+                  .rows[0][0]
+                  .text_value(),
+              "one");
+  });
+}
+
+// A shard move invalidates worker routing through the metadata sync: a
+// worker keeps returning correct results after the placement changed.
+TEST_F(MxTest, ShardMoveResyncsWorkerRouting) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE t (key bigint PRIMARY KEY, v bigint)");
+    MustQuery(**cconn, "SELECT create_distributed_table('t', 'key')");
+    for (int64_t i = 0; i < 50; i++) {
+      MustQuery(**cconn, StrFormat("INSERT INTO t VALUES (%lld, %lld)",
+                                   static_cast<long long>(i),
+                                   static_cast<long long>(i)));
+    }
+    auto wconn = deploy_->Connect("worker2");
+    ASSERT_TRUE(wconn.ok());
+    int64_t k = KeyOn("t", "worker1");
+    EXPECT_EQ(MustQuery(**wconn, StrFormat("SELECT v FROM t WHERE key = %lld",
+                                           static_cast<long long>(k)))
+                  .rows[0][0]
+                  .int_value(),
+              k);
+    // Move k's shard group from worker1 to worker2.
+    const CitusTable* ct = deploy_->metadata().Find("t");
+    int idx = ct->ShardIndexForHash(sql::Datum::Int8(k).PartitionHash());
+    uint64_t shard_id = ct->shards[static_cast<size_t>(idx)].shard_id;
+    Rebalancer rebalancer(ExtOf("coordinator"));
+    auto session = deploy_->coordinator()->OpenSession();
+    ASSERT_TRUE(
+        rebalancer.MoveShard(*session, shard_id, "worker1", "worker2").ok());
+    EXPECT_EQ(WorkerOf("t", k), "worker2");
+    // The sync that followed the move republished the placements: both the
+    // worker route and the total stay correct.
+    EXPECT_TRUE(ExtOf("worker2")->MxReady());
+    EXPECT_EQ(MustQuery(**wconn, StrFormat("SELECT v FROM t WHERE key = %lld",
+                                           static_cast<long long>(k)))
+                  .rows[0][0]
+                  .int_value(),
+              k);
+    EXPECT_EQ(MustQuery(**wconn, "SELECT count(*) FROM t")
+                  .rows[0][0]
+                  .int_value(),
+              50);
+  });
+}
+
+// A restart wipes the in-memory metadata state: the worker must refuse MX
+// routing until the next sync round reaches it.
+TEST_F(MxTest, RestartClearsSyncedStateUntilResync) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  // Park the maintenance daemon so the stale window is observable.
+  options.citus.deadlock_poll_interval = 600 * sim::kSecond;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**cconn, "INSERT INTO kv VALUES (1, 'one')");
+    ASSERT_TRUE(ExtOf("worker1")->MxReady());
+    sim_.faults().Crash("worker1");
+    sim_.faults().Restart("worker1");
+    EXPECT_FALSE(ExtOf("worker1")->MxReady());
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    auto r = (*wconn)->Query("SELECT v FROM kv WHERE key = 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(IsStaleMetadataStatus(r.status())) << r.status().ToString();
+    // The authority notices the restart (epoch change) on its next round;
+    // trigger it manually here.
+    EXPECT_TRUE(ExtOf("coordinator")->AnyMetadataSyncPending());
+    MustQuery(**cconn, "SELECT citus_sync_metadata()");
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    EXPECT_EQ(MustQuery(**wconn, "SELECT v FROM kv WHERE key = 1")
+                  .rows[0][0]
+                  .text_value(),
+              "one");
+  });
+}
+
+// citus_stat_metadata_sync: per-worker sync bookkeeping on the authority, a
+// single self row on a worker.
+TEST_F(MxTest, StatMetadataSyncViewExposesSyncState) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    QueryResult r = MustQuery(
+        **cconn,
+        "SELECT * FROM citus_stat_metadata_sync ORDER BY node_name");
+    ASSERT_EQ(r.rows.size(), 3u);  // coordinator + 2 workers
+    uint64_t version = deploy_->metadata().cluster_version();
+    for (const auto& row : r.rows) {
+      bool authority = row[0].ToText() == "coordinator";
+      EXPECT_EQ(row[1].int_value(), authority ? 1 : 0);
+      EXPECT_EQ(row[2].int_value(), 1);  // synced
+      EXPECT_EQ(row[3].int_value(), static_cast<int64_t>(version));
+      if (!authority) {
+        EXPECT_GE(row[5].int_value(), 3);  // >= 3 round trips per sync
+        EXPECT_GE(row[6].int_value(), 1);  // >= 1 successful sync
+        EXPECT_GE(row[7].int_value(), row[6].int_value());  // attempts
+      }
+    }
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    QueryResult w = MustQuery(**wconn,
+                              "SELECT * FROM citus_stat_metadata_sync");
+    ASSERT_EQ(w.rows.size(), 1u);
+    EXPECT_EQ(w.rows[0][0].ToText(), "worker1");
+    EXPECT_EQ(w.rows[0][1].int_value(), 0);
+    EXPECT_EQ(w.rows[0][2].int_value(), 1);
+    EXPECT_EQ(w.rows[0][3].int_value(), static_cast<int64_t>(version));
+  });
+}
+
+// The sync admin UDFs are authority-only, like the DDL UDFs.
+TEST_F(MxTest, SyncAdminUdfsRequireCoordinator) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    auto r1 = (*wconn)->Query("SELECT citus_sync_metadata()");
+    EXPECT_FALSE(r1.ok());
+    auto r2 = (*wconn)->Query("SELECT start_metadata_sync_to_node('worker2')");
+    EXPECT_FALSE(r2.ok());
+  });
+}
+
+// DDL stays single-master: schema changes against distributed tables are
+// refused on workers, while purely local worker tables are untouched.
+TEST_F(MxTest, DdlOnDistributedTablesRefusedOnWorker) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    auto wconn = deploy_->Connect("worker1");
+    ASSERT_TRUE(wconn.ok());
+    for (const char* ddl :
+         {"CREATE INDEX kv_v ON kv (v)", "DROP TABLE kv", "TRUNCATE kv"}) {
+      auto r = (*wconn)->Query(ddl);
+      ASSERT_FALSE(r.ok()) << ddl;
+      EXPECT_EQ(r.status().code(), StatusCode::kNotSupported) << ddl;
+    }
+    // Local (non-distributed) DDL on the worker still works.
+    MustQuery(**wconn, "CREATE TABLE scratch (a bigint)");
+    MustQuery(**wconn, "CREATE INDEX scratch_a ON scratch (a)");
+    MustQuery(**wconn, "DROP TABLE scratch");
+  });
+}
+
+// Adding a node mid-flight syncs it and extends reference-table placement;
+// dropped tables disappear from worker copies on the next sync.
+TEST_F(MxTest, AddNodeAndDropTablePropagateThroughSync) {
+  DeploymentOptions options;
+  options.num_workers = 2;
+  options.spare_workers = 1;
+  Deploy(options);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    MustQuery(**cconn, "INSERT INTO kv VALUES (1, 'one')");
+    MustQuery(**cconn, "SELECT citus_add_node('worker3')");
+    EXPECT_TRUE(ExtOf("worker3")->MxReady());
+    auto w3 = deploy_->Connect("worker3");
+    ASSERT_TRUE(w3.ok());
+    EXPECT_EQ(MustQuery(**w3, "SELECT v FROM kv WHERE key = 1")
+                  .rows[0][0]
+                  .text_value(),
+              "one");
+    // DROP on the coordinator reaches every copy.
+    MustQuery(**cconn, "DROP TABLE kv");
+    EXPECT_EQ(ExtOf("worker3")->metadata().Find("kv"), nullptr);
+    EXPECT_EQ(ExtOf("worker1")->metadata().Find("kv"), nullptr);
+    EXPECT_FALSE(ExtOf("worker1")->IsShellTable("kv"));
+  });
+}
+
+}  // namespace
+}  // namespace citusx::citus
