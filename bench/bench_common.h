@@ -9,6 +9,8 @@
 #ifndef CITUSX_BENCH_BENCH_COMMON_H_
 #define CITUSX_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -103,6 +105,36 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Approximate result equality for executor-differential checks: identical
+/// shape, float8 cells within a relative tolerance (aggregation order
+/// differs between the volcano and vectorized executors), everything else
+/// exact.
+inline bool ApproxEqualResults(const engine::QueryResult& a,
+                               const engine::QueryResult& b,
+                               double tol = 1e-6) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); i++) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t c = 0; c < a.rows[i].size(); c++) {
+      const sql::Datum& x = a.rows[i][c];
+      const sql::Datum& y = b.rows[i][c];
+      if (x.is_null() || y.is_null()) {
+        if (x.is_null() != y.is_null()) return false;
+        continue;
+      }
+      if (x.type() == sql::TypeId::kFloat8 ||
+          y.type() == sql::TypeId::kFloat8) {
+        double dx = x.AsDouble(), dy = y.AsDouble();
+        double scale = std::max({1.0, std::fabs(dx), std::fabs(dy)});
+        if (std::fabs(dx - dy) > tol * scale) return false;
+      } else if (sql::Datum::Compare(x, y) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 /// The consistent latency summary every bench reports.

@@ -8,9 +8,11 @@
 #   tier 4: UndefinedBehaviorSanitizer build + full ctest suite
 #   tier bench: bench + chaos smoke — fig9 (2PC invariant), abl_plancache
 #               (>= 2x plan-cache speedup), abl_mx (>= 2x any-node read
-#               scaling), chaos_ycsb --quick under a fixed seed (release
-#               and, when present, the ASan build); every binary
-#               self-checks its own invariants and JSON report
+#               scaling), abl_olap (vectorized executor matches the volcano
+#               oracle on every TPC-H query, >= 10x on scan/agg-heavy ones),
+#               chaos_ycsb --quick under a fixed seed (release and, when
+#               present, the ASan build); every binary self-checks its own
+#               invariants and JSON report
 #
 # Usage: scripts/verify.sh [--tier N]
 #   --tier N       run only that tier (1-4, or "bench"); "bench" expects a
@@ -85,6 +87,9 @@ if run_tier bench; then
   ./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
   ./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
   ./build/bench/abl_mx --quick --json=build/BENCH_mx_smoke.json
+
+  echo "==> olap smoke: vectorized executor vs volcano oracle on TPC-H"
+  ./build/bench/abl_olap --quick --json=build/BENCH_olap.json
 
   echo "==> chaos smoke: crash/restart schedule under a fixed seed"
   ./build/bench/chaos_ycsb --quick --seed=42 --json=build/BENCH_chaos_smoke.json

@@ -43,6 +43,19 @@ Status ExecOneTask(RunState& st, WorkerConnection* wc, Task& task) {
   // version so the receiver can refuse work routed by a staler peer. One
   // SET round trip per connection per version; a no-op when current.
   CITUSX_RETURN_IF_ERROR(st.ext->StampPeerMetadataVersion(wc));
+  // Propagate the coordinator session's executor choice so worker fragments
+  // honor SET citus.use_vectorized_executor (same stamping idiom as the
+  // metadata version: one SET round trip, only when the setting changes).
+  bool vec_off =
+      st.session->GetVar("citus.use_vectorized_executor") == "off";
+  if (vec_off != wc->vectorized_off_stamped) {
+    CITUSX_RETURN_IF_ERROR(
+        wc->conn
+            ->Query(vec_off ? "SET citus.use_vectorized_executor = 'off'"
+                            : "SET citus.use_vectorized_executor = 'on'")
+            .status());
+    wc->vectorized_off_stamped = vec_off;
+  }
   if (st.need_txn_block) {
     CITUSX_RETURN_IF_ERROR(st.ext->EnsureWorkerTxn(*st.session, wc));
   }

@@ -5,6 +5,7 @@
 
 #include "citus/plancache.h"
 #include "citus/planner.h"
+#include "exec/vectorized.h"
 
 namespace citusx::citus {
 
@@ -72,6 +73,7 @@ CitusExtension* CitusExtension::Install(
   Registry()[node] = ext;
   ext->RegisterHooks();
   ext->RegisterUdfs();
+  if (config.use_vectorized_executor) exec::InstallVectorizedExecutor(node);
   // The commit-records catalog table (pg_dist_transaction). Real MVCC
   // storage: commit records become visible atomically with local commit.
   if (node->catalog().Find(kCommitRecordsTable) == nullptr) {

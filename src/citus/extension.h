@@ -44,6 +44,10 @@ struct WorkerConnection {
   /// SET citus.metadata_peer_version (0 = never stamped). The receiving
   /// node uses the stamp to refuse work routed by a staler peer.
   uint64_t stamped_version = 0;
+  /// Whether SET citus.use_vectorized_executor = 'off' is in effect on the
+  /// worker session behind this connection (workers default on; the
+  /// coordinator propagates its own session setting at task dispatch).
+  bool vectorized_off_stamped = false;
 };
 
 /// Per-session extension state, hung off Session::extension_state.
@@ -86,6 +90,11 @@ struct CitusConfig {
   /// Per-session distributed plan cache + worker-side prepared statements
   /// (ablation: abl_plancache --no-plan-cache).
   bool enable_plan_cache = true;
+  /// Register the vectorized morsel-driven executor (src/exec) on the node.
+  /// Sessions can still opt out per-session with
+  /// SET citus.use_vectorized_executor = off, which the coordinator also
+  /// propagates to its worker connections (ablation: abl_olap).
+  bool use_vectorized_executor = true;
   /// Maintenance daemon intervals.
   sim::Time deadlock_poll_interval = 2 * sim::kSecond;
   sim::Time recovery_poll_interval = 30 * sim::kSecond;

@@ -951,6 +951,25 @@ Result<engine::QueryResult> DistributedPlanner::ExplainAnalyze(
                     "rows=%lld)",
                     w->node.c_str(), MsOf(w->duration()),
                     static_cast<long long>(w->rows)));
+      // Vectorized-executor pipelines nest under the worker execution,
+      // each with its morsel/worker fan-out; no pipeline children means
+      // the fragment ran on the volcano path.
+      for (const obs::Span* p : children[w->id]) {
+        if (p->name != "pipeline") continue;
+        auto pattr = [&](const char* key) -> std::string {
+          auto it = p->attrs.find(key);
+          return it == p->attrs.end() ? std::string() : it->second;
+        };
+        std::string pruned = pattr("pruned_stripes");
+        add(StrFormat("              ->  Pipeline [%s]  (time=%.3f ms, "
+                      "rows=%lld, morsels=%s, workers=%s%s)",
+                      pattr("ops").c_str(), MsOf(p->duration()),
+                      static_cast<long long>(p->rows), pattr("morsels").c_str(),
+                      pattr("workers").c_str(),
+                      pruned.empty()
+                          ? ""
+                          : StrFormat(", pruned=%s", pruned.c_str()).c_str()));
+      }
     }
   }
   out.command_tag = "EXPLAIN";

@@ -18,6 +18,7 @@
 #include "engine/catalog.h"
 #include "engine/locks.h"
 #include "engine/txn.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/resources.h"
 #include "sql/ast.h"
@@ -44,6 +45,17 @@ struct TempRelation {
   std::vector<sql::Row> rows;
 };
 
+class ExecNode;
+struct ExecContext;
+
+/// An alternative plan executor (the vectorized engine in src/exec).
+/// Consulted by ExecuteSelect after planning: returns a result to take over
+/// execution of the plan tree, or nullopt to fall through to the volcano
+/// path (unsupported plan shape). Registered per node via
+/// Node::set_batch_executor.
+using BatchExecutor =
+    std::function<Result<std::optional<QueryResult>>(ExecNode&, ExecContext&)>;
+
 /// Runtime context threaded through execution.
 struct ExecContext {
   sim::Simulation* sim = nullptr;
@@ -56,6 +68,21 @@ struct ExecContext {
   Snapshot snapshot;
   const std::vector<sql::Datum>* params = nullptr;
   Rng* rng = nullptr;
+
+  /// True when the session allows the registered batch executor to take
+  /// over plan execution (citus.use_vectorized_executor GUC; sessions
+  /// default it on).
+  bool vectorize = true;
+
+  /// The node's registered batch executor; nullptr or empty = volcano only.
+  const BatchExecutor* batch_exec = nullptr;
+
+  /// Active trace of the statement (EXPLAIN ANALYZE propagation): the batch
+  /// executor parents its per-pipeline spans under `parent_span`. Null
+  /// tracer = tracing off.
+  obs::TraceCollector* tracer = nullptr;
+  obs::TraceId trace = 0;
+  obs::SpanId parent_span = 0;
 
   sql::EvalContext EvalCtx(const sql::Row* row) const {
     sql::EvalContext ec;

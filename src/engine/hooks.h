@@ -101,6 +101,12 @@ Result<QueryResult> RunLocalSelect(
     const std::vector<sql::Datum>& params,
     const std::map<std::string, const TempRelation*>* temp_relations = nullptr);
 
+// The batch-executor seam: an extension layer (src/exec, installed by the
+// Citus extension) may register a BatchExecutor on a Node
+// (Node::set_batch_executor); local SELECT execution then offers every
+// planned tree to it before falling back to the volcano path. Like the Citus
+// layer, src/exec includes engine/hooks.h and nothing else from engine/.
+
 }  // namespace citusx::engine
 
 // The Session and Node surfaces are part of the extension-visible API: every

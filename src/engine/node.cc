@@ -138,9 +138,13 @@ void Node::Crash() {
     locks_.ReleaseAll(xid);
     UnregisterTxn(xid);
   }
-  // Buffer cache is lost (cold restart).
+  // Buffer cache is lost (cold restart). Columnar objects matter too:
+  // before the vectorized-executor work made columnar shards a hot path,
+  // only heap pages were forgotten here, so post-crash columnar scans were
+  // charged as if the cache were still warm.
   for (TableInfo* t : catalog_.AllTables()) {
     if (t->heap != nullptr) pool_.Forget(t->heap->object_id());
+    if (t->columnar != nullptr) pool_.Forget(t->columnar->object_id());
   }
 }
 

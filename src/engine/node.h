@@ -55,6 +55,14 @@ class Node {
   obs::TraceCollector* tracer() { return tracer_; }
   void set_tracer(obs::TraceCollector* tracer) { tracer_ = tracer; }
 
+  /// Batch (vectorized) plan executor consulted by ExecuteSelect; empty =
+  /// volcano only. Installed by the extension layer (src/exec via the Citus
+  /// extension) or directly by tests.
+  const BatchExecutor& batch_executor() const { return batch_executor_; }
+  void set_batch_executor(BatchExecutor exec) {
+    batch_executor_ = std::move(exec);
+  }
+
   /// Open a local session (the net layer opens one per connection).
   std::unique_ptr<Session> OpenSession();
 
@@ -129,6 +137,7 @@ class Node {
   TxnManager txns_;
   LockManager locks_;
   ExtensionHooks hooks_;
+  BatchExecutor batch_executor_;
   std::map<std::string, Procedure> procedures_;
   std::map<TxnId, std::string> dist_id_of_txn_;
   bool down_ = false;

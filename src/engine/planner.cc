@@ -981,6 +981,14 @@ Result<QueryResult> ExecuteSelect(const sql::SelectStmt& stmt,
   CITUSX_RETURN_IF_ERROR(ctx.ChargeCpu(
       input.cached_plan ? ctx.cost->plan_cached_bind : ctx.cost->plan_local));
   CITUSX_ASSIGN_OR_RETURN(ExecNodePtr plan, PlanSelect(stmt, input));
+  // The batch (vectorized) executor gets first claim on the planned tree;
+  // it declines plan shapes it does not cover (nullopt), leaving the
+  // volcano path below as both the fallback and the differential oracle.
+  if (ctx.vectorize && ctx.batch_exec != nullptr && *ctx.batch_exec) {
+    CITUSX_ASSIGN_OR_RETURN(std::optional<QueryResult> batched,
+                            (*ctx.batch_exec)(*plan, ctx));
+    if (batched.has_value()) return std::move(*batched);
+  }
   return CollectRows(*plan, ctx);
 }
 

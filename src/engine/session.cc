@@ -118,6 +118,29 @@ ExecContext Session::MakeExecContext(const std::vector<sql::Datum>* params) {
   ctx.snapshot = node_->txns().TakeSnapshot(txn_);
   ctx.params = params;
   ctx.rng = &rng_;
+  // Vectorized-executor switch: the registered batch executor runs unless
+  // the session opted out (SET citus.use_vectorized_executor = off). The
+  // coordinator propagates the setting to worker connections so "off"
+  // really means the volcano oracle end to end.
+  ctx.vectorize = GetVar("citus.use_vectorized_executor") != "off";
+  ctx.batch_exec = &node_->batch_executor();
+  // Statement trace (EXPLAIN ANALYZE): pipelines nest under the statement's
+  // "worker execution" span when one is open, else directly under the span
+  // carried by the wire context (coordinator-local master queries).
+  ctx.tracer = node_->tracer();
+  if (active_span_ != 0) {
+    ctx.trace = active_trace_;
+    ctx.parent_span = active_span_;
+  } else {
+    obs::TraceId trace = 0;
+    obs::SpanId parent = 0;
+    if (ctx.tracer != nullptr &&
+        obs::ParseTraceContext(GetVar("citusx.trace_ctx"), &trace, &parent)) {
+      ctx.trace = trace;
+      ctx.parent_span = parent;
+    }
+  }
+  if (ctx.trace == 0) ctx.tracer = nullptr;
   return ctx;
 }
 
@@ -273,7 +296,11 @@ Result<QueryResult> Session::Execute(const std::string& sql,
     obs::SpanId span = tracer->StartSpan(trace, parent, "worker execution",
                                          node_->name(), node_->sim()->now());
     tracer->SetAttr(span, "sql", sql);
+    active_trace_ = trace;
+    active_span_ = span;
     Result<QueryResult> result = ExecuteParsed(stmt, params);
+    active_trace_ = 0;
+    active_span_ = 0;
     if (result.ok()) {
       tracer->SetRows(span, result->rows.empty()
                                 ? result->rows_affected

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "engine/exec.h"
 #include "engine/node.h"
+#include "obs/trace.h"
 
 namespace citusx::engine {
 
@@ -114,6 +115,10 @@ class Session {
   std::map<std::string, std::string> vars_;
   std::map<std::string, PreparedStatement> prepared_;
   PreparedStatement* active_prepared_ = nullptr;
+  /// Open "worker execution" span of the statement in flight (traced
+  /// statements only); execution contexts parent pipeline spans under it.
+  obs::TraceId active_trace_ = 0;
+  obs::SpanId active_span_ = 0;
   Rng rng_;
 };
 

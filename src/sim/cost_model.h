@@ -57,6 +57,20 @@ struct CostModel {
   Time cpu_commit_readonly = 3 * kMicrosecond;  // no commit record: ProcArray
                                                 // exit + resource cleanup only
 
+  // ---- vectorized executor (src/exec) ----
+  // Per-row rates for batch-at-a-time operators. Vectorization amortizes
+  // the interpreter dispatch that dominates the volcano per-row constants
+  // above (Neumann-style compilation gets further, but an order of
+  // magnitude is the well-published batch-executor win on scan/agg shapes).
+  Time vec_per_row_scan = 8;        // columnar batch read, per row
+  Time vec_per_expr_eval = 6;       // per expression per row, batch-evaluated
+  Time vec_per_row_hash = 25;       // batched hash build/probe/group
+  Time vec_per_row_sort = 120;      // sorts vectorize worst (random access)
+  Time vec_pipeline_startup = 5 * kMicrosecond;  // per pipeline
+  Time vec_morsel_overhead = 2 * kMicrosecond;   // scheduling per morsel
+  /// Rows per morsel (heap/temp sources; columnar uses stripe granularity).
+  int64_t vec_morsel_rows = 16384;
+
   // ---- maintenance ----
   Time deadlock_poll_interval = 2 * kSecond;      // paper §3.7.3
   Time recovery_poll_interval = 30 * kSecond;     // 2PC recovery daemon

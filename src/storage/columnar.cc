@@ -8,6 +8,12 @@ Status ColumnarTable::Insert(sql::Row row, TxnId xmin) {
   if (static_cast<int>(row.size()) != schema_.num_columns()) {
     return Status::Internal("columnar row width mismatch");
   }
+  // Each stripe has exactly one writing transaction (as in Citus, where
+  // every writer reserves its own stripe). A new writer seals whatever the
+  // previous one left open; otherwise an uncommitted writer appending to a
+  // shared open stripe would hide the earlier, committed rows, since
+  // visibility is tracked at stripe granularity.
+  if (open_active_ && open_.xmin != xmin) SealStripe(open_.xmin);
   if (!open_active_) {
     open_ = Stripe{};
     open_.columns.resize(static_cast<size_t>(schema_.num_columns()));
@@ -21,11 +27,15 @@ Status ColumnarTable::Insert(sql::Row row, TxnId xmin) {
     open_.columns[c].push_back(std::move(row[c]));
   }
   open_.rows++;
-  // Later writers in the same stripe own visibility; in practice COPY loads
-  // whole stripes in one transaction, matching Citus columnar usage.
-  open_.xmin = xmin;
   if (open_.rows >= kStripeRows) SealStripe(xmin);
   return Status::OK();
+}
+
+int64_t ColumnarTable::ColumnPages(int64_t bytes) const {
+  return static_cast<int64_t>(
+             static_cast<double>(bytes) /
+             (kCompressionRatio * static_cast<double>(pool_->page_bytes()))) +
+         1;
 }
 
 void ColumnarTable::SealStripe(TxnId xmin) {
@@ -34,11 +44,26 @@ void ColumnarTable::SealStripe(TxnId xmin) {
   open_.first_block = next_block_;
   // Charge compressed write I/O for each column block.
   for (size_t c = 0; c < open_.column_bytes.size(); c++) {
-    int64_t pages = static_cast<int64_t>(
-        static_cast<double>(open_.column_bytes[c]) /
-        (kCompressionRatio * static_cast<double>(pool_->page_bytes()))) + 1;
+    int64_t pages = ColumnPages(open_.column_bytes[c]);
     for (int64_t p = 0; p < pages; p++) {
       pool_->AppendBlock(BlockId{object_id_, next_block_++});
+    }
+  }
+  // Min/max skip-index entries (cstore chunk group stats): computed once at
+  // seal time over non-NULL values.
+  open_.stats.resize(open_.columns.size());
+  for (size_t c = 0; c < open_.columns.size(); c++) {
+    ColumnStats& st = open_.stats[c];
+    for (const sql::Datum& v : open_.columns[c]) {
+      if (v.is_null()) continue;
+      if (!st.has_values) {
+        st.min = v;
+        st.max = v;
+        st.has_values = true;
+        continue;
+      }
+      if (sql::Datum::Compare(v, st.min) < 0) st.min = v;
+      if (sql::Datum::Compare(v, st.max) > 0) st.max = v;
     }
   }
   stripes_.push_back(std::move(open_));
@@ -52,35 +77,36 @@ int64_t ColumnarTable::num_rows() const {
   return n;
 }
 
+bool ColumnarTable::ChargeStripeRead(const Stripe& s,
+                                     const std::vector<int>& projection) {
+  uint64_t block = s.first_block;
+  for (int c = 0; c < static_cast<int>(s.columns.size()); c++) {
+    int64_t pages = ColumnPages(s.column_bytes[static_cast<size_t>(c)]);
+    bool wanted = projection.empty();
+    for (int p : projection) {
+      if (p == c) wanted = true;
+    }
+    if (wanted) {
+      for (int64_t p = 0; p < pages; p++) {
+        if (!pool_->Access(
+                BlockId{object_id_, block + static_cast<uint64_t>(p)},
+                false)) {
+          return false;
+        }
+      }
+    }
+    block += static_cast<uint64_t>(pages);
+  }
+  return true;
+}
+
 bool ColumnarTable::Scan(const Snapshot& snap,
                          const TxnStatusResolver& resolver,
                          const std::vector<int>& projection,
                          const std::function<bool(const sql::Row&)>& fn) {
   auto scan_stripe = [&](const Stripe& s, bool charge_io) -> bool {
     if (!snap.XidVisible(s.xmin, resolver)) return true;
-    if (charge_io) {
-      // Charge I/O for projected column blocks only.
-      uint64_t block = s.first_block;
-      for (int c = 0; c < static_cast<int>(s.columns.size()); c++) {
-        int64_t pages = static_cast<int64_t>(
-            static_cast<double>(s.column_bytes[static_cast<size_t>(c)]) /
-            (kCompressionRatio * static_cast<double>(pool_->page_bytes()))) + 1;
-        bool wanted = projection.empty();
-        for (int p : projection) {
-          if (p == c) wanted = true;
-        }
-        if (wanted) {
-          for (int64_t p = 0; p < pages; p++) {
-            if (!pool_->Access(
-                    BlockId{object_id_, block + static_cast<uint64_t>(p)},
-                    false)) {
-              return false;
-            }
-          }
-        }
-        block += static_cast<uint64_t>(pages);
-      }
-    }
+    if (charge_io && !ChargeStripeRead(s, projection)) return false;
     sql::Row row(s.columns.size());
     for (int64_t r = 0; r < s.rows; r++) {
       for (size_t c = 0; c < s.columns.size(); c++) {
@@ -99,6 +125,40 @@ bool ColumnarTable::Scan(const Snapshot& snap,
     if (!scan_stripe(s, /*charge_io=*/true)) return false;
   }
   if (open_active_ && !scan_stripe(open_, /*charge_io=*/false)) return false;
+  return true;
+}
+
+const std::vector<ColumnStats>* ColumnarTable::StripeStats(
+    int64_t index) const {
+  if (index < 0 || index >= num_stripes()) return nullptr;  // open stripe
+  return &stripes_[static_cast<size_t>(index)].stats;
+}
+
+bool ColumnarTable::StripeVisible(int64_t index, const Snapshot& snap,
+                                  const TxnStatusResolver& resolver) const {
+  const Stripe& s = index < num_stripes()
+                        ? stripes_[static_cast<size_t>(index)]
+                        : open_;
+  return snap.XidVisible(s.xmin, resolver);
+}
+
+bool ColumnarTable::ReadStripe(int64_t index,
+                               const std::vector<int>& projection,
+                               StripeView* out) {
+  bool is_open = index >= num_stripes();
+  const Stripe& s =
+      is_open ? open_ : stripes_[static_cast<size_t>(index)];
+  // Open stripe is memory-resident: no block I/O.
+  if (!is_open && !ChargeStripeRead(s, projection)) return false;
+  out->rows = s.rows;
+  out->columns.assign(s.columns.size(), nullptr);
+  for (size_t c = 0; c < s.columns.size(); c++) {
+    bool wanted = projection.empty();
+    for (int p : projection) {
+      if (p == static_cast<int>(c)) wanted = true;
+    }
+    if (wanted) out->columns[c] = &s.columns[c];
+  }
   return true;
 }
 

@@ -2,10 +2,16 @@
 // blocks, so scans only pay I/O for projected columns and benefit from a
 // modelled compression ratio. Matches Citus columnar semantics: no UPDATE or
 // DELETE, visibility at stripe granularity.
+//
+// Two read paths:
+//  - Scan(): row-at-a-time callback, used by the volcano executor.
+//  - ReadStripe(): zero-copy column views over one stripe, used by the
+//    vectorized executor (src/exec) with min/max pruning via StripeStats().
 #ifndef CITUSX_STORAGE_COLUMNAR_H_
 #define CITUSX_STORAGE_COLUMNAR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -16,6 +22,21 @@
 
 namespace citusx::storage {
 
+/// Per-stripe, per-column min/max (NULLs excluded), sealed-stripe metadata
+/// for predicate pruning. `has_values` is false when every value is NULL.
+struct ColumnStats {
+  sql::Datum min;
+  sql::Datum max;
+  bool has_values = false;
+};
+
+/// Zero-copy view of one stripe's columns. Only projected columns are
+/// non-null; pointers are invalidated by any mutation of the table.
+struct StripeView {
+  int64_t rows = 0;
+  std::vector<const std::vector<sql::Datum>*> columns;  // nullptr = skipped
+};
+
 class ColumnarTable {
  public:
   static constexpr int64_t kStripeRows = 10000;
@@ -25,6 +46,7 @@ class ColumnarTable {
       : object_id_(object_id), schema_(std::move(schema)), pool_(pool) {}
 
   const sql::Schema& schema() const { return schema_; }
+  uint64_t object_id() const { return object_id_; }
 
   /// Append a row (buffered into the open stripe). Charges I/O when a stripe
   /// fills.
@@ -41,6 +63,30 @@ class ColumnarTable {
             const std::vector<int>& projection,
             const std::function<bool(const sql::Row&)>& fn);
 
+  // ---- vectorized read path ----
+
+  /// Stripes addressable by ReadStripe: sealed stripes plus the open stripe
+  /// (index num_stripes()) when it holds rows.
+  int64_t num_read_units() const {
+    return num_stripes() + (open_active_ && open_.rows > 0 ? 1 : 0);
+  }
+
+  /// Per-column stats of read unit `index` for pruning, or nullptr for the
+  /// open stripe (stats are computed at seal time; the open stripe is never
+  /// pruned).
+  const std::vector<ColumnStats>* StripeStats(int64_t index) const;
+
+  /// Visibility of read unit `index` under `snap` (stripe granularity).
+  bool StripeVisible(int64_t index, const Snapshot& snap,
+                     const TxnStatusResolver& resolver) const;
+
+  /// Column views over read unit `index`, charging I/O for the columns in
+  /// `projection` (empty = all; the open stripe is memory-resident and
+  /// charges nothing). Returns false if cancelled mid-I/O. Callers must
+  /// check StripeVisible first.
+  bool ReadStripe(int64_t index, const std::vector<int>& projection,
+                  StripeView* out);
+
   void Truncate();
 
  private:
@@ -48,12 +94,16 @@ class ColumnarTable {
     // Column-major storage.
     std::vector<std::vector<sql::Datum>> columns;
     std::vector<int64_t> column_bytes;
+    std::vector<ColumnStats> stats;  // filled at seal time
     TxnId xmin = kInvalidTxn;
     int64_t rows = 0;
     uint64_t first_block = 0;
   };
 
   void SealStripe(TxnId xmin);
+  int64_t ColumnPages(int64_t bytes) const;
+  /// Charge buffer-pool reads for `projection` of `s`; false on cancel.
+  bool ChargeStripeRead(const Stripe& s, const std::vector<int>& projection);
 
   uint64_t object_id_;
   sql::Schema schema_;

@@ -1,0 +1,123 @@
+// Regression test pinning each fig8 TPC-H query to its expected planner
+// tier. A planner regression that silently demotes a query to a cheaper
+// tier (or fails over to a slower one) changes what figure 8 measures, so
+// the expected tier is asserted per query via the planner's tier counters.
+// Shards are stored columnar, so worker fragments run through the
+// vectorized columnar read path.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "citus/deploy.h"
+#include "citus/planner.h"
+#include "workload/tpch.h"
+
+namespace citusx {
+namespace {
+
+struct TierCounts {
+  int64_t fast_path, router, pushdown, join_order;
+};
+
+TierCounts Snapshot() {
+  return {citus::DistributedPlanner::fast_path_count,
+          citus::DistributedPlanner::router_count,
+          citus::DistributedPlanner::pushdown_count,
+          citus::DistributedPlanner::join_order_count};
+}
+
+class TpchTierTest : public ::testing::Test {
+ protected:
+  void RunSim(std::function<void()> fn) {
+    sim_.Spawn("test", std::move(fn));
+    sim_.Run();
+  }
+  void TearDown() override {
+    sim_.Shutdown();
+    deploy_.reset();
+  }
+  sim::Simulation sim_;
+  std::unique_ptr<citus::Deployment> deploy_;
+};
+
+TEST_F(TpchTierTest, Fig8QueriesPlanAtExpectedTier) {
+  citus::DeploymentOptions options;
+  options.num_workers = 2;
+  deploy_ = std::make_unique<citus::Deployment>(&sim_, options);
+  citus::Deployment& deploy = *deploy_;
+  RunSim([&] {
+    auto conn_r = deploy.Connect();
+    ASSERT_TRUE(conn_r.ok());
+    net::Connection& conn = **conn_r;
+    workload::TpchConfig cfg;
+    cfg.scale = 0.01;  // 1500 orders: enough to exercise every query path
+    cfg.columnar = true;
+    ASSERT_TRUE(workload::TpchCreateSchema(conn, cfg).ok());
+    ASSERT_TRUE(workload::TpchLoad(conn, cfg).ok());
+
+    // Every fig8 query joins only co-located distributed tables
+    // (lineitem/orders on the order key) and reference tables, so each one
+    // must plan at the logical-pushdown tier — never router (it would run
+    // on one shard and drop rows) and never join-order (it would
+    // repartition needlessly).
+    for (const auto& [name, sql] : workload::TpchQueries()) {
+      TierCounts before = Snapshot();
+      auto r = conn.Query(sql);
+      ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+      TierCounts after = Snapshot();
+      EXPECT_GT(after.pushdown, before.pushdown)
+          << name << " did not plan at the pushdown tier";
+      EXPECT_EQ(after.join_order, before.join_order)
+          << name << " unexpectedly used the join-order tier";
+      EXPECT_EQ(after.router, before.router)
+          << name << " unexpectedly planned as a router query";
+      EXPECT_EQ(after.fast_path, before.fast_path)
+          << name << " unexpectedly planned as a fast-path query";
+    }
+
+    // A single-order lookup must stay on the fast path; demoting it to the
+    // pushdown tier would fan a point query out to every shard.
+    {
+      TierCounts before = Snapshot();
+      auto r = conn.Query("SELECT o_totalprice FROM orders "
+                          "WHERE o_orderkey = 42");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      TierCounts after = Snapshot();
+      EXPECT_GT(after.fast_path, before.fast_path);
+      EXPECT_EQ(after.pushdown, before.pushdown);
+    }
+
+    // A join between distributed tables that are NOT co-located (partsupp
+    // hashed on ps_partkey, in its own co-location group) must escalate to
+    // the join-order (repartition) tier, not fail and not silently run as
+    // pushdown with wrong per-shard joins.
+    ASSERT_TRUE(conn.Query("CREATE TABLE partsupp (ps_partkey bigint, "
+                           "ps_suppkey bigint, ps_availqty bigint)")
+                    .ok());
+    ASSERT_TRUE(
+        conn.Query("SELECT create_distributed_table('partsupp', "
+                   "'ps_partkey', colocate_with := 'none')")
+            .ok());
+    auto ins = conn.Query(
+        "INSERT INTO partsupp SELECT p_partkey, p_partkey % 10 + 1, "
+        "p_partkey % 100 FROM part");
+    ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+    {
+      TierCounts before = Snapshot();
+      auto r = conn.Query(
+          "SELECT count(*), sum(ps_availqty) FROM lineitem JOIN partsupp "
+          "ON l_partkey = ps_partkey");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      TierCounts after = Snapshot();
+      EXPECT_GT(after.join_order, before.join_order)
+          << "non-co-located join did not use the join-order tier";
+      ASSERT_EQ(r->rows.size(), 1u);
+      EXPECT_GT(r->rows[0][0].int_value(), 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace citusx

@@ -207,13 +207,17 @@ const std::map<std::string, std::set<std::string>>& LayerDag() {
       {"sql", {"sql", "common"}},
       {"storage", {"storage", "sql", "sim", "obs", "common"}},
       {"engine", {"engine", "storage", "sql", "sim", "obs", "common"}},
+      // The vectorized executor: like the Citus layer, engine access is
+      // restricted to the hook API header (special-cased below); reads
+      // columnar storage directly.
+      {"exec", {"exec", "storage", "sql", "sim", "obs", "common"}},
       {"net", {"net", "engine", "storage", "sql", "sim", "obs", "common"}},
       // The extension: engine access is restricted to the hook API header
       // (special-cased below); storage/ is fully off limits.
-      {"citus", {"citus", "net", "sql", "sim", "obs", "common"}},
+      {"citus", {"citus", "exec", "net", "sql", "sim", "obs", "common"}},
       {"workload",
-       {"workload", "citus", "net", "engine", "storage", "sql", "sim", "obs",
-        "common"}},
+       {"workload", "citus", "exec", "net", "engine", "storage", "sql", "sim",
+        "obs", "common"}},
   };
   return kDag;
 }
@@ -253,17 +257,16 @@ void CheckLayering(const SourceFile& f, LintResult* out) {
     if (LayerDag().count(target_layer) == 0) continue;  // not a src/ layer
     if (Allowed(f, i, kRule)) continue;
     bool ok = allowed.count(target_layer) > 0;
-    if (layer == "citus" && target_layer == "engine") {
+    bool hooks_only =
+        (layer == "citus" || layer == "exec") && target_layer == "engine";
+    if (hooks_only) {
       ok = (target == "engine/hooks.h");
     }
     if (!ok) {
       out->violations.push_back(
           {kRule, f.path, static_cast<int>(i + 1),
            "includes " + target + " (layer '" + layer + "' may not depend on '" +
-               target_layer + "'" +
-               (layer == "citus" && target_layer == "engine"
-                    ? " except engine/hooks.h"
-                    : "") +
+               target_layer + "'" + (hooks_only ? " except engine/hooks.h" : "") +
                ")"});
     }
   }
@@ -653,6 +656,20 @@ int SelfTest() {
         make("src/sql/bad.cc", "#include \"engine/node.h\"\n"),
     });
     expect(count_rule(r, "layering") == 3, "layering finds 3 violations");
+  }
+  {  // layering: exec is hooks.h-only towards engine, like citus, and may
+     // read storage directly; nothing below exec may include it.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/exec/good.cc", "#include \"engine/hooks.h\"\n"
+                                 "#include \"storage/columnar.h\"\n"),
+        make("src/exec/bad.cc", "#include \"engine/exec.h\"\n"
+                                "#include \"net/connection.h\"\n"),
+        make("src/engine/bad.cc", "#include \"exec/vectorized.h\"\n"),
+        make("src/citus/good2.cc", "#include \"exec/vectorized.h\"\n"),
+    });
+    expect(count_rule(r, "layering") == 3,
+           "layering holds exec to hooks.h-only engine access");
   }
   {  // status-discard: (void) and static_cast<void>, but not f(void) decls
      // or commented/quoted occurrences.
