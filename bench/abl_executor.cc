@@ -54,6 +54,9 @@ int main() {
       options.num_workers = setup.workers;
       options.cost = cost;
       options.citus.enable_slow_start = slow_start;
+      // Pipelining batches co-located tasks onto one connection, which would
+      // hide the connection-open cost this ablation exists to measure.
+      options.citus.enable_task_pipelining = false;
       citus::Deployment deploy(&sim, options);
       MustRun(sim, [&] { return SetupTable(deploy, total_rows); });
 

@@ -10,6 +10,8 @@
 #               (>= 2x plan-cache speedup), abl_mx (>= 2x any-node read
 #               scaling), abl_olap (vectorized executor matches the volcano
 #               oracle on every TPC-H query, >= 10x on scan/agg-heavy ones),
+#               abl_scale (>= 2x pooled tps at >= 100k sessions on a bounded
+#               connection budget, delta-sync cost flat per node),
 #               chaos_ycsb --quick under a fixed seed (release and, when
 #               present, the ASan build); every binary self-checks its own
 #               invariants and JSON report
@@ -87,6 +89,9 @@ if run_tier bench; then
   ./build/bench/fig9_2pc --quick --json=build/BENCH_fig9_smoke.json
   ./build/bench/abl_plancache --quick --json=build/BENCH_plancache_smoke.json
   ./build/bench/abl_mx --quick --json=build/BENCH_mx_smoke.json
+
+  echo "==> scale smoke: transaction pooling + delta metadata sync"
+  ./build/bench/abl_scale --quick --json=build/BENCH_scale_smoke.json
 
   echo "==> olap smoke: vectorized executor vs volcano oracle on TPC-H"
   ./build/bench/abl_olap --quick --json=build/BENCH_olap.json

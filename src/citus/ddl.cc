@@ -165,6 +165,7 @@ Result<std::optional<engine::QueryResult>> ProcessDistributedUtility(
       // internal connection) and their synced copies reconcile on the sync
       // below.
       metadata.Remove(table_name);
+      metadata.RecordTableDrop(table_name);
       table = nullptr;
       CITUSX_RETURN_IF_ERROR(
           executor.Execute(session, std::move(tasks)).status());

@@ -204,6 +204,119 @@ Status ExecTaskResilient(RunState& st, WorkerConnection*& wc, Task& task) {
   return last;
 }
 
+// Run one chunk of read-only tasks over `wc` as a single pipelined round
+// trip (PREPAREs piggyback ahead of their EXECUTE). Tasks whose statement
+// failed for a retryable reason are re-run through the resilient per-task
+// wrapper, which may heal/replace `wc`; fatal SQL errors and stale-metadata
+// rejections are recorded directly without a wasted re-execution.
+void RunPipelineChunk(RunState& st, WorkerConnection*& wc,
+                      const std::vector<Task*>& chunk) {
+  auto record = [&](Task* t, const Status& s) {
+    if (!st.task_status.empty()) {
+      st.task_status[static_cast<size_t>(t->index)] = s;
+    }
+    if (!s.ok() && st.first_error.ok()) st.first_error = s;
+  };
+  auto fallback = [&](Task* t) { record(t, ExecTaskResilient(st, wc, *t)); };
+
+  // No usable connection: the resilient path acquires (or fails) per task.
+  bool ready = wc != nullptr && wc->conn->usable();
+  if (ready) {
+    // Per-connection stamps (peer metadata version, executor choice) ride
+    // ahead of the batch exactly as on the per-task path.
+    Status stamp = st.ext->StampPeerMetadataVersion(wc);
+    bool vec_off =
+        st.session->GetVar("citus.use_vectorized_executor") == "off";
+    if (stamp.ok() && vec_off != wc->vectorized_off_stamped) {
+      stamp = wc->conn
+                  ->Query(vec_off ? "SET citus.use_vectorized_executor = 'off'"
+                                  : "SET citus.use_vectorized_executor = 'on'")
+                  .status();
+      if (stamp.ok()) wc->vectorized_off_stamped = vec_off;
+    }
+    ready = stamp.ok() && wc->conn->usable();
+  }
+  if (!ready) {
+    for (Task* t : chunk) fallback(t);
+    return;
+  }
+
+  struct Entry {
+    Task* task;
+    bool is_prepare;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string> stmts;
+  for (Task* t : chunk) {
+    if (!t->prepare_name.empty()) {
+      if (wc->prepared_stmts.count(t->prepare_name) == 0) {
+        entries.push_back({t, true});
+        stmts.push_back(t->prepare_sql);
+      }
+      entries.push_back({t, false});
+      stmts.push_back(t->execute_sql);
+    } else {
+      entries.push_back({t, false});
+      stmts.push_back(t->sql);
+    }
+  }
+  st.ext->metric_pipeline_batches->Inc();
+  Result<std::vector<net::StatementOutcome>> r =
+      wc->conn->QueryPipeline(std::move(stmts));
+  if (!r.ok()) {
+    // Transport failure: every statement's fate is unknown, but these are
+    // reads — safe to re-run each on a healed connection.
+    for (Task* t : chunk) fallback(t);
+    return;
+  }
+  std::vector<net::StatementOutcome> outcomes = std::move(r).value();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    net::StatementOutcome& out = outcomes[i];
+    if (e.is_prepare) {
+      if (out.status.ok()) {
+        wc->prepared_stmts.insert(e.task->prepare_name);
+      }
+      // A failed PREPARE resurfaces on its EXECUTE's outcome.
+      continue;
+    }
+    Task* t = e.task;
+    if (out.status.ok()) {
+      st.ext->metric_tasks->Inc();
+      st.ext->metric_pipelined_tasks->Inc();
+      (*st.results)[static_cast<size_t>(t->index)] = std::move(out.result);
+      record(t, Status::OK());
+    } else if (out.status.error_class() == ErrorClass::kFatal ||
+               IsStaleMetadataStatus(out.status)) {
+      record(t, out.status);
+    } else {
+      fallback(t);
+    }
+  }
+}
+
+// A pipeline runner drains its worker's queue in chunks sized to share the
+// backlog across the worker's runners, one pipelined round trip per chunk.
+void PipelineRunnerLoop(RunState& st, const std::string& worker,
+                        WorkerConnection* wc, int batch_size) {
+  auto& q = st.queues[worker];
+  for (;;) {
+    int pending = static_cast<int>(q.general.size());
+    if (pending == 0) break;
+    int runners = std::max(1, q.runners);
+    int take = std::min(batch_size, (pending + runners - 1) / runners);
+    std::vector<Task*> chunk;
+    chunk.reserve(static_cast<size_t>(take));
+    for (int i = 0; i < take; ++i) {
+      chunk.push_back(q.general.front());
+      q.general.pop_front();
+    }
+    RunPipelineChunk(st, wc, chunk);
+    for (size_t i = 0; i < chunk.size(); ++i) st.done->Send(1);
+  }
+  q.runners--;
+}
+
 // A runner drains one connection's assigned queue, then the general queue.
 void RunnerLoop(RunState& st, const std::string& worker,
                 WorkerConnection* wc) {
@@ -240,6 +353,19 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
   int writes = 0;
   for (const auto& t : tasks) writes += t.is_write ? 1 : 0;
   bool need_txn_block = session.in_explicit_txn() || writes > 1;
+
+  // Read-only multi-shard fan-out takes the pipelined path: tasks bound for
+  // the same worker share a few pipelined connections instead of ramping
+  // one connection per task. Traced statements (EXPLAIN ANALYZE) keep the
+  // per-task path for span fidelity.
+  if (ext_->config().enable_task_pipelining && tasks.size() > 1 &&
+      !need_txn_block && session.GetVar("citusx.trace_ctx").empty()) {
+    bool all_plain_reads = true;
+    for (const auto& t : tasks) {
+      all_plain_reads = all_plain_reads && !t.is_write && !t.is_copy;
+    }
+    if (all_plain_reads) return ExecutePipelined(session, std::move(tasks));
+  }
 
   // Single-task fast path: one round trip on the affine/cached connection.
   if (tasks.size() == 1) {
@@ -421,6 +547,100 @@ Result<std::vector<engine::QueryResult>> AdaptiveExecutor::Execute(
       all_reads = all_reads && !t.is_write && !t.is_copy;
     }
     if (all_reads && failed < total) {
+      ext_->metric_partial_failures->Inc();
+      return Status::Unavailable(StrFormat(
+          "partial query failure: %d of %d shard tasks failed (%s); first "
+          "error: %s",
+          failed, total, failed_shards.c_str(),
+          st.first_error.message().c_str()));
+    }
+    return st.first_error;
+  }
+  return std::move(st.owned_results);
+}
+
+Result<std::vector<engine::QueryResult>> AdaptiveExecutor::ExecutePipelined(
+    engine::Session& session, std::vector<Task> tasks) {
+  sim::Simulation* sim = ext_->node()->sim();
+  const CitusConfig& cfg = ext_->config();
+  auto stp = std::make_shared<RunState>();
+  RunState& st = *stp;
+  st.session = &session;
+  st.ext = ext_;
+  st.sim = sim;
+  st.need_txn_block = false;
+  st.owned_results.resize(tasks.size());
+  st.results = &st.owned_results;
+  st.task_status.assign(tasks.size(), Status::OK());
+  st.done = std::make_unique<sim::Channel<int>>(sim);
+  st.ticker_active = false;  // admission is the fixed width, not slow start
+
+  for (auto& t : tasks) st.queues[t.worker].general.push_back(&t);
+
+  int width = std::max(1, cfg.pipeline_width);
+  int batch = std::max(1, cfg.pipeline_batch_size);
+
+  for (auto& [worker, q] : st.queues) {
+    // One runner on the session's cached/affine connection; extra runners
+    // (up to pipeline_width, bounded by the shared pool budget) each open
+    // their own connection concurrently. A backend executes its pipeline
+    // serially, so width is what buys worker-side CPU parallelism.
+    int runners =
+        std::min(width, static_cast<int>(q.general.size() + batch - 1) / batch);
+    runners = std::max(1, runners);
+    q.runners = 1;
+    WorkerConnection* first = nullptr;
+    auto got = ext_->GetConnection(session, worker, {0, -1});
+    if (got.ok()) first = *got;
+    {
+      std::string w = worker;
+      sim->Spawn(
+          "citus:pipeline_runner",
+          [stp, w, first, batch] { PipelineRunnerLoop(*stp, w, first, batch); },
+          /*daemon=*/true);
+    }
+    for (int i = 1; i < runners; ++i) {
+      q.runners++;
+      std::string w = worker;
+      CitusExtension* ext = ext_;
+      engine::Session* sess = &session;
+      sim->Spawn(
+          "citus:pipeline_opener",
+          [stp, w, ext, sess, batch] {
+            auto extra = ext->TryOpenExtraConnection(*sess, w);
+            if (!extra.ok() || *extra == nullptr) {
+              // Budget or worker unavailable: the remaining runners (at
+              // least the first) drain this worker's queue.
+              stp->queues[w].runners--;
+              return;
+            }
+            PipelineRunnerLoop(*stp, w, *extra, batch);
+          },
+          /*daemon=*/true);
+    }
+  }
+
+  int total = static_cast<int>(tasks.size());
+  int finished = 0;
+  while (finished < total) {
+    auto msg = st.done->Receive();
+    if (!msg.has_value()) return Status::Cancelled("simulation stopping");
+    finished++;
+  }
+  if (!st.first_error.ok()) {
+    // Same partial-failure reporting as the general path: these are all
+    // reads, so surviving shards count.
+    int failed = 0;
+    std::string failed_shards;
+    for (const auto& t : tasks) {
+      const Status& s = st.task_status[static_cast<size_t>(t.index)];
+      if (s.ok()) continue;
+      failed++;
+      if (!failed_shards.empty()) failed_shards += ", ";
+      failed_shards += t.worker + "/group" + std::to_string(t.shard_group);
+    }
+    if (failed == 0) return std::move(st.owned_results);
+    if (failed < total) {
       ext_->metric_partial_failures->Inc();
       return Status::Unavailable(StrFormat(
           "partial query failure: %d of %d shard tasks failed (%s); first "

@@ -48,6 +48,13 @@ class AdaptiveExecutor {
                                                    std::vector<Task> tasks);
 
  private:
+  /// Fast path for read-only multi-shard fan-out: batch each worker's tasks
+  /// into pipelined round trips over a small fixed set of shared
+  /// connections (pipeline_width per worker) instead of ramping one
+  /// connection per task through slow start.
+  Result<std::vector<engine::QueryResult>> ExecutePipelined(
+      engine::Session& session, std::vector<Task> tasks);
+
   CitusExtension* ext_;
 };
 

@@ -44,6 +44,8 @@ CitusExtension::CitusExtension(engine::Node* node,
   obs::Metrics& m = node_->metrics();
   metric_tasks = m.counter("citus.executor.tasks");
   metric_pool_growth = m.counter("citus.executor.pool_growth");
+  metric_pipeline_batches = m.counter("citus.executor.pipeline_batches");
+  metric_pipelined_tasks = m.counter("citus.executor.pipelined_tasks");
   metric_prepares = m.counter("citus.2pc.prepares");
   metric_2pc_commits = m.counter("citus.2pc.commits");
   metric_1pc_commits = m.counter("citus.2pc.single_node_commits");
@@ -64,6 +66,8 @@ CitusExtension::CitusExtension(engine::Node* node,
   metric_mx_sync_rounds = m.counter("citus.mx.sync_rounds");
   metric_mx_sync_failures = m.counter("citus.mx.sync_failures");
   metric_mx_sync_applied = m.counter("citus.mx.sync_applied");
+  metric_mx_delta_syncs = m.counter("citus.mx.delta_syncs");
+  metric_mx_sync_bytes = m.counter("citus.mx.sync_bytes");
 }
 
 CitusExtension* CitusExtension::Install(

@@ -87,6 +87,16 @@ struct CitusConfig {
   sim::Time slow_start_interval = 10 * sim::kMillisecond;
   /// Disable slow start entirely (ablation).
   bool enable_slow_start = true;
+  /// Shared-connection task pipelining: batch read-only multi-shard tasks
+  /// bound for the same worker into pipelined round trips on a small fixed
+  /// set of connections, instead of ramping one connection per task through
+  /// slow start (ablation: abl_scale --no-pipelining).
+  bool enable_task_pipelining = true;
+  /// Connections per worker the pipelined path fans out over (a backend
+  /// executes its pipeline serially, so width = per-worker CPU parallelism).
+  int pipeline_width = 4;
+  /// Max tasks batched into one pipelined round trip.
+  int pipeline_batch_size = 16;
   /// Per-session distributed plan cache + worker-side prepared statements
   /// (ablation: abl_plancache --no-plan-cache).
   bool enable_plan_cache = true;
@@ -113,6 +123,12 @@ struct CitusConfig {
   /// manual sync UDFs (citus_sync_metadata, start_metadata_sync_to_node)
   /// still work.
   bool enable_metadata_sync = true;
+  /// Delta fast path for metadata sync: peers already synced at an earlier
+  /// version receive a one-round-trip diff (changed tables, dropped names,
+  /// workers/procedures only when touched) instead of the full
+  /// three-round-trip payload. Any delta failure falls back to the full
+  /// protocol. Disable to measure full-sync cost (abl_scale --no-delta).
+  bool enable_delta_metadata_sync = true;
 };
 
 /// Metadata-sync round-trip boundaries where the fault hook fires
@@ -134,6 +150,8 @@ struct NodeSyncState {
   int64_t round_trips = 0;  // cumulative sync round trips (incl. failures)
   int64_t syncs = 0;        // successful sync rounds
   int64_t attempts = 0;     // rounds attempted
+  int64_t delta_syncs = 0;  // successful rounds served by the delta path
+  int64_t bytes_sent = 0;   // cumulative payload bytes shipped to this node
 };
 
 /// Error-message prefix for stale-metadata rejections. They are issued as
@@ -169,6 +187,9 @@ class CitusExtension {
   CitusMetadata& metadata() { return *metadata_; }
   net::NodeDirectory& directory() { return *directory_; }
   const CitusConfig& config() const { return config_; }
+  /// Benches flip feature flags (delta sync, pipelining) between phases of
+  /// one deployment to measure ablations without a redeploy.
+  CitusConfig& mutable_config() { return config_; }
 
   /// Session state accessor (created lazily).
   CitusSessionState& SessionState(engine::Session& session);
@@ -248,11 +269,15 @@ class CitusExtension {
   }
 
   /// Push the authority's catalogs to one node / all registered workers
-  /// over a dedicated connection (three round trips: begin, incremental
-  /// apply, finish). SyncMetadataToWorkers returns the number of nodes
-  /// synced; per-node failures mark the node unsynced and are not fatal.
-  Status SyncMetadataToNode(const std::string& target);
-  Result<int> SyncMetadataToWorkers();
+  /// over a dedicated connection (delta fast path: one round trip; full
+  /// protocol: begin, incremental apply, finish). Peers already at the
+  /// current version are skipped unless `force` is set — the explicit
+  /// repair UDFs (citus_sync_metadata, start_metadata_sync_to_node) force
+  /// a re-ship, internal sweeps don't. SyncMetadataToWorkers returns the
+  /// number of nodes synced; per-node failures mark the node unsynced and
+  /// are not fatal.
+  Status SyncMetadataToNode(const std::string& target, bool force = false);
+  Result<int> SyncMetadataToWorkers(bool force = false);
   /// Best-effort auto-sync after an authoritative metadata change; failures
   /// are left for the maintenance daemon to retry.
   void MaybeSyncMetadata();
@@ -346,6 +371,8 @@ class CitusExtension {
   /// Metric handles on this node's registry, resolved once at install.
   obs::Counter* metric_tasks = nullptr;          // citus.executor.tasks
   obs::Counter* metric_pool_growth = nullptr;    // citus.executor.pool_growth
+  obs::Counter* metric_pipeline_batches = nullptr;  // citus.executor.pipeline_batches
+  obs::Counter* metric_pipelined_tasks = nullptr;   // citus.executor.pipelined_tasks
   obs::Counter* metric_prepares = nullptr;       // citus.2pc.prepares
   obs::Counter* metric_2pc_commits = nullptr;    // citus.2pc.commits
   obs::Counter* metric_1pc_commits = nullptr;    // citus.2pc.single_node_commits
@@ -368,6 +395,8 @@ class CitusExtension {
   obs::Counter* metric_mx_sync_rounds = nullptr;    // citus.mx.sync_rounds
   obs::Counter* metric_mx_sync_failures = nullptr;  // citus.mx.sync_failures
   obs::Counter* metric_mx_sync_applied = nullptr;   // citus.mx.sync_applied
+  obs::Counter* metric_mx_delta_syncs = nullptr;    // citus.mx.delta_syncs
+  obs::Counter* metric_mx_sync_bytes = nullptr;     // citus.mx.sync_bytes
 
   // ---- citus_stat_statements backing store ----
   void RecordStatement(const std::string& normalized, const std::string& tier,
@@ -428,6 +457,10 @@ class CitusExtension {
   std::set<std::string> shell_tables_;
   /// Authority-side sync bookkeeping, keyed by target node name.
   std::map<std::string, NodeSyncState> sync_states_;
+  /// True while a SyncMetadataToWorkers sweep is in flight on this node;
+  /// concurrent sweeps (eager post-DDL vs maintenance daemon) would sync
+  /// the same lagging peers twice, so later callers no-op.
+  bool sync_sweep_active_ = false;
 
  public:
   void MarkDistTxnActive(const std::string& id) {

@@ -184,6 +184,51 @@ class CitusMetadata {
     table->modified_version = cluster_version_;
   }
 
+  /// Authority-only: record that `name` was dropped at the current version.
+  /// Delta sync ships "drop X" to peers instead of a full name-list
+  /// reconcile. The log is capped; DropLogCovers reports whether it still
+  /// reaches back far enough for a given peer (if not, sync falls back to
+  /// the full protocol).
+  void RecordTableDrop(const std::string& name) {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    dropped_log_.emplace_back(cluster_version_, name);
+    while (dropped_log_.size() > kDropLogCap) {
+      drop_log_floor_ = dropped_log_.front().first;
+      dropped_log_.erase(dropped_log_.begin());
+    }
+  }
+  std::vector<std::string> DroppedSince(uint64_t version) const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    std::vector<std::string> out;
+    for (const auto& [v, name] : dropped_log_) {
+      if (v > version) out.push_back(name);
+    }
+    return out;
+  }
+  bool DropLogCovers(uint64_t version) const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return version >= drop_log_floor_;
+  }
+
+  /// Authority-only: stamp the worker list / procedure map as changed at
+  /// the current version, so delta sync ships them only when they changed.
+  void TouchWorkers() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    workers_modified_version_ = cluster_version_;
+  }
+  uint64_t workers_modified_version() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return workers_modified_version_;
+  }
+  void TouchProcedures() {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    procedures_modified_version_ = cluster_version_;
+  }
+  uint64_t procedures_modified_version() const {
+    std::lock_guard<OrderedMutex> guard(metadata_mu_);
+    return procedures_modified_version_;
+  }
+
   /// True once a replica has applied a complete sync (always true on the
   /// authority). Cleared while a sync round is applying and on node
   /// restart, so a half-applied copy is never used for routing.
@@ -303,6 +348,12 @@ class CitusMetadata {
   uint64_t cluster_version_ = 0;
   uint64_t known_cluster_version_ = 0;
   bool mx_synced_ = false;
+  /// (version, table name) drops for delta sync; see RecordTableDrop.
+  static constexpr size_t kDropLogCap = 256;
+  std::vector<std::pair<uint64_t, std::string>> dropped_log_;
+  uint64_t drop_log_floor_ = 0;
+  uint64_t workers_modified_version_ = 0;
+  uint64_t procedures_modified_version_ = 0;
 };
 
 /// Evenly divide the int32 hash space into `count` intervals.

@@ -146,6 +146,114 @@ std::string SerializeMetadataPayload(const CitusMetadata& md,
   return payload->ToString();
 }
 
+std::string SerializeMetadataDelta(const CitusMetadata& md,
+                                   uint64_t from_version) {
+  std::vector<sql::JsonPtr> tables;
+  for (const auto& [name, t] : md.tables()) {
+    if (t.modified_version > from_version) {
+      tables.push_back(SerializeTable(t));
+    }
+  }
+  std::vector<sql::JsonPtr> dropped;
+  for (const std::string& name : md.DroppedSince(from_version)) {
+    dropped.push_back(Str(name));
+  }
+  std::vector<std::pair<std::string, sql::JsonPtr>> fields = {
+      {"from", Num(static_cast<double>(from_version))},
+      {"to", Num(static_cast<double>(md.cluster_version()))},
+      {"default_shard_count", Num(md.default_shard_count)},
+      {"tables", sql::Json::MakeArray(std::move(tables))},
+      {"dropped", sql::Json::MakeArray(std::move(dropped))},
+  };
+  // Workers and procedures ride along only when they actually changed —
+  // the worker list alone is O(cluster size), which is exactly the factor
+  // delta sync exists to avoid shipping N times per change.
+  if (md.workers_modified_version() > from_version) {
+    std::vector<sql::JsonPtr> workers;
+    workers.reserve(md.workers.size());
+    for (const std::string& w : md.workers) workers.push_back(Str(w));
+    fields.emplace_back("workers", sql::Json::MakeArray(std::move(workers)));
+  }
+  if (md.procedures_modified_version() > from_version) {
+    std::vector<sql::JsonPtr> procedures;
+    for (const auto& [name, p] : md.procedures) {
+      procedures.push_back(sql::Json::MakeObject({
+          {"name", Str(p.name)},
+          {"dist_arg_index", Num(p.dist_arg_index)},
+          {"colocated_table", Str(p.colocated_table)},
+      }));
+    }
+    fields.emplace_back("procedures",
+                        sql::Json::MakeArray(std::move(procedures)));
+  }
+  return sql::Json::MakeObject(std::move(fields))->ToString();
+}
+
+Status ApplyMetadataDelta(CitusExtension* ext, const std::string& json) {
+  CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr payload, sql::Json::Parse(json));
+  sql::JsonPtr from = payload->GetField("from");
+  sql::JsonPtr to = payload->GetField("to");
+  sql::JsonPtr tables = payload->GetField("tables");
+  sql::JsonPtr dropped = payload->GetField("dropped");
+  sql::JsonPtr shard_count = payload->GetField("default_shard_count");
+  if (!from || !to || !tables || !dropped || !shard_count) {
+    return Status::InvalidArgument("metadata delta missing sections");
+  }
+  CitusMetadata& md = ext->metadata();
+  const uint64_t base = static_cast<uint64_t>(from->number_value());
+  const uint64_t target = static_cast<uint64_t>(to->number_value());
+  // The delta only composes on top of the exact base it was computed
+  // against; anything else (missed round, restart wiped the copy, a full
+  // sync in flight) must go through the full protocol.
+  if (!md.mx_synced() || md.cluster_version() != base) {
+    return Status::InvalidArgument(StrFormat(
+        "metadata delta base mismatch: local copy at %llu (synced=%d), "
+        "delta from %llu",
+        static_cast<unsigned long long>(md.cluster_version()),
+        md.mx_synced() ? 1 : 0, static_cast<unsigned long long>(base)));
+  }
+  // Everything below is pure in-memory application — no yields — so the
+  // validate-apply-publish sequence is atomic under the simulation's
+  // cooperative scheduling; no unsynced window is needed.
+  md.default_shard_count = static_cast<int>(shard_count->number_value());
+  for (const sql::JsonPtr& t : tables->array_items()) {
+    CITUSX_ASSIGN_OR_RETURN(CitusTable table, DeserializeTable(t));
+    ext->RegisterShellTable(table.name);
+    md.ApplySyncedTable(std::move(table));
+  }
+  for (const sql::JsonPtr& d : dropped->array_items()) {
+    md.Remove(d->string_value());
+    ext->UnregisterShellTable(d->string_value());
+  }
+  if (sql::JsonPtr workers = payload->GetField("workers")) {
+    md.workers.clear();
+    for (const sql::JsonPtr& w : workers->array_items()) {
+      md.workers.push_back(w->string_value());
+    }
+  }
+  if (sql::JsonPtr procedures = payload->GetField("procedures")) {
+    md.procedures.clear();
+    for (const sql::JsonPtr& p : procedures->array_items()) {
+      sql::JsonPtr name = p->GetField("name");
+      sql::JsonPtr arg = p->GetField("dist_arg_index");
+      sql::JsonPtr table = p->GetField("colocated_table");
+      if (!name || !arg || !table) {
+        return Status::InvalidArgument("metadata delta procedure malformed");
+      }
+      DistributedProcedure proc;
+      proc.name = name->string_value();
+      proc.dist_arg_index = static_cast<int>(arg->number_value());
+      proc.colocated_table = table->string_value();
+      md.procedures[proc.name] = std::move(proc);
+    }
+  }
+  md.FinishSync(target);
+  if (ext->metric_mx_sync_applied != nullptr) {
+    ext->metric_mx_sync_applied->Inc();
+  }
+  return Status::OK();
+}
+
 Status ApplyMetadataPayload(CitusExtension* ext, const std::string& json) {
   CITUSX_ASSIGN_OR_RETURN(sql::JsonPtr payload, sql::Json::Parse(json));
   sql::JsonPtr workers = payload->GetField("workers");
@@ -196,7 +304,8 @@ Status ApplyMetadataPayload(CitusExtension* ext, const std::string& json) {
   return Status::OK();
 }
 
-Status CitusExtension::SyncMetadataToNode(const std::string& target) {
+Status CitusExtension::SyncMetadataToNode(const std::string& target,
+                                          bool force) {
   if (!IsMetadataAuthority()) {
     return Status::NotSupported(
         "metadata sync must originate on the coordinator");
@@ -208,12 +317,57 @@ Status CitusExtension::SyncMetadataToNode(const std::string& target) {
   }
   const uint64_t version = metadata_->cluster_version();
   NodeSyncState& state = sync_states_[target];
+  // Already current: nothing to ship. Without this, a sweep triggered by
+  // one lagging peer (the maintenance daemon syncs all workers whenever
+  // any is pending) would re-send the full catalog to every current peer —
+  // O(catalog x cluster) of pointless traffic at 128 nodes. The explicit
+  // repair UDFs force a re-ship regardless.
+  if (!force && state.synced && state.version == version &&
+      target_node->restart_epoch() == state.target_epoch) {
+    return Status::OK();
+  }
   state.attempts++;
   metric_mx_sync_rounds->Inc();
   auto fire_hook = [&](MetadataSyncPoint point) -> Status {
     if (metadata_sync_fault_hook) return metadata_sync_fault_hook(target, point);
     return Status::OK();
   };
+  // Delta fast path: the peer is known-synced at an earlier version, has
+  // not restarted since, and the drop log still reaches back to its base —
+  // ship only what changed, in one round trip. Any failure (most commonly
+  // a base mismatch after the peer missed a round) falls through to the
+  // authoritative three-round-trip protocol below.
+  if (config_.enable_delta_metadata_sync && state.synced &&
+      state.version > 0 && state.version < version &&
+      target_node->restart_epoch() == state.target_epoch &&
+      metadata_->DropLogCovers(state.version)) {
+    Status delta = [&]() -> Status {
+      CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kBeforeBegin));
+      CITUSX_ASSIGN_OR_RETURN(std::unique_ptr<net::Connection> conn,
+                              directory_->Connect(node_, target));
+      const std::string payload =
+          SerializeMetadataDelta(*metadata_, state.version);
+      metric_mx_sync_bytes->Inc(static_cast<int64_t>(payload.size()));
+      state.bytes_sent += static_cast<int64_t>(payload.size());
+      CITUSX_RETURN_IF_ERROR(
+          conn->Query("SELECT citus_internal_metadata_apply_delta(" +
+                      QuoteSqlLiteral(payload) + ")")
+              .status());
+      state.round_trips++;
+      CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kAfterApply));
+      return Status::OK();
+    }();
+    if (delta.ok()) {
+      state.version = version;
+      state.target_epoch = target_node->restart_epoch();
+      state.synced = true;
+      state.last_sync_time = node_->sim()->now();
+      state.syncs++;
+      state.delta_syncs++;
+      metric_mx_delta_syncs->Inc();
+      return Status::OK();
+    }
+  }
   auto run = [&]() -> Status {
     CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kBeforeBegin));
     CITUSX_ASSIGN_OR_RETURN(std::unique_ptr<net::Connection> conn,
@@ -231,6 +385,8 @@ Status CitusExtension::SyncMetadataToNode(const std::string& target) {
     CITUSX_RETURN_IF_ERROR(fire_hook(MetadataSyncPoint::kAfterBegin));
     const std::string payload =
         SerializeMetadataPayload(*metadata_, peer_version);
+    metric_mx_sync_bytes->Inc(static_cast<int64_t>(payload.size()));
+    state.bytes_sent += static_cast<int64_t>(payload.size());
     CITUSX_RETURN_IF_ERROR(
         conn->Query("SELECT citus_internal_metadata_apply(" +
                     QuoteSqlLiteral(payload) + ")")
@@ -261,22 +417,33 @@ Status CitusExtension::SyncMetadataToNode(const std::string& target) {
   return Status::OK();
 }
 
-Result<int> CitusExtension::SyncMetadataToWorkers() {
+Result<int> CitusExtension::SyncMetadataToWorkers(bool force) {
   if (!IsMetadataAuthority()) {
     return Status::NotSupported(
         "metadata sync must originate on the coordinator");
   }
+  // One sweep at a time: each per-node sync yields (connect + round trips),
+  // so on a large cluster the eager post-DDL sweep and the maintenance
+  // daemon's repair pass can interleave and sync the same lagging peer
+  // twice. Serialize rather than skip — a DDL that returned must mean its
+  // peers are synced — then run our own pass anyway: peers the previous
+  // sweep already brought current hit the early-out and cost nothing.
+  while (sync_sweep_active_) {
+    if (!node_->sim()->WaitFor(sim::kMillisecond)) return 0;  // shutdown
+  }
+  sync_sweep_active_ = true;
   int synced = 0;
   Status first_error = Status::OK();
   for (const std::string& worker : metadata_->workers) {
     if (worker == node_->name()) continue;
-    Status status = SyncMetadataToNode(worker);
+    Status status = SyncMetadataToNode(worker, force);
     if (status.ok()) {
       synced++;
     } else if (first_error.ok()) {
       first_error = status;
     }
   }
+  sync_sweep_active_ = false;
   // Partial success is success: reachable nodes are current, unreachable
   // ones are marked unsynced and the maintenance daemon retries them. Only
   // a round that synced nobody while someone failed reports the error.

@@ -15,6 +15,21 @@
 // A failure at any point leaves the peer unsynced; it refuses MX routing
 // (never answers from a half-applied copy) until the maintenance daemon or
 // a manual citus_sync_metadata() completes a full round.
+//
+// Delta fast path (large clusters): when the authority knows a peer is
+// synced at version F (and the peer has not restarted since), it ships one
+// round trip instead of three:
+//
+//   SELECT citus_internal_metadata_apply_delta('<json delta>')
+//
+// The delta carries only what changed between F and the current version V:
+// changed tables, dropped table names (from the authority's drop log),
+// and the worker list / procedure map only if they changed. The receiver
+// validates atomically that its copy is synced at exactly F before
+// applying, and publishes V in the same step; any mismatch is a SQL error
+// and the authority falls back to the full three-round-trip protocol in
+// the same call. Sync cost per change is therefore proportional to the
+// size of the change, not to the catalog or the cluster.
 #ifndef CITUSX_CITUS_METADATA_SYNC_H_
 #define CITUSX_CITUS_METADATA_SYNC_H_
 
@@ -39,6 +54,18 @@ std::string SerializeMetadataPayload(const CitusMetadata& md,
 /// from the payload's full name list. Does not publish a version — that is
 /// sync_finish's job, after the apply succeeded.
 Status ApplyMetadataPayload(CitusExtension* ext, const std::string& json);
+
+/// Serialize the delta between `from_version` and md's current version:
+/// changed tables, dropped names, and workers/procedures when touched
+/// since. Caller must have verified DropLogCovers(from_version).
+std::string SerializeMetadataDelta(const CitusMetadata& md,
+                                   uint64_t from_version);
+
+/// Apply a delta payload (worker side). Validates the local copy is synced
+/// at exactly the delta's base version, applies the changes, and publishes
+/// the delta's target version — all atomically (no yields). A base
+/// mismatch returns InvalidArgument without touching the copy.
+Status ApplyMetadataDelta(CitusExtension* ext, const std::string& json);
 
 }  // namespace citusx::citus
 

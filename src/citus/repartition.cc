@@ -209,6 +209,7 @@ Result<std::optional<engine::QueryResult>> DistributedPlanner::TryJoinOrderPlan(
       }
     }
     ext_->metadata().Remove(tmp_logical);
+    ext_->metadata().RecordTableDrop(tmp_logical);
   };
 
   std::vector<Task> ship_tasks;

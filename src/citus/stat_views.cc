@@ -18,6 +18,7 @@ constexpr const char* kStatActivity = "citus_stat_activity";
 constexpr const char* kStatPlanCache = "citus_stat_plan_cache";
 constexpr const char* kStatFailures = "citus_stat_failures";
 constexpr const char* kStatMetadataSync = "citus_stat_metadata_sync";
+constexpr const char* kStatPools = "citus_stat_pools";
 
 void CollectNames(const sql::TableRef& ref, std::set<std::string>* out) {
   switch (ref.kind) {
@@ -52,6 +53,69 @@ engine::TempRelation BuildStatStatements(CitusExtension* ext) {
   return rel;
 }
 
+// Transaction-pool telemetry for one node, read from the generic "pool.*"
+// metric names every pooler registers on its server node (src/pool). Going
+// through the metrics snapshot rather than pool headers keeps this layer
+// below src/pool in the dependency DAG and skips nodes that never had a
+// pool without creating metrics as a side effect.
+struct PoolSample {
+  bool present = false;
+  int64_t poolers = 0, sessions = 0, in_use = 0, idle = 0, waiters = 0;
+  int64_t attaches = 0, detaches = 0, replays = 0, timeouts = 0;
+  double wait_p99_ms = 0;
+};
+
+PoolSample SamplePool(engine::Node* node) {
+  PoolSample s;
+  for (const obs::MetricSample& m : node->metrics().Snapshot()) {
+    if (m.name.rfind("pool.", 0) != 0) continue;
+    s.present = true;
+    if (m.name == "pool.poolers") s.poolers = m.value;
+    else if (m.name == "pool.client_sessions") s.sessions = m.value;
+    else if (m.name == "pool.in_use") s.in_use = m.value;
+    else if (m.name == "pool.idle") s.idle = m.value;
+    else if (m.name == "pool.waiters") s.waiters = m.value;
+    else if (m.name == "pool.attaches") s.attaches = m.value;
+    else if (m.name == "pool.detaches") s.detaches = m.value;
+    else if (m.name == "pool.state_replays") s.replays = m.value;
+    else if (m.name == "pool.attach_timeouts") s.timeouts = m.value;
+    else if (m.name == "pool.attach_wait")
+      s.wait_p99_ms = static_cast<double>(m.p99) / 1e6;
+  }
+  return s;
+}
+
+// One row per node fronted by a transaction pooler: connection accounting
+// (in-use / idle / queued waiters), attach churn, session-state replays,
+// deadline timeouts, and the p99 attach wait.
+engine::TempRelation BuildStatPools(CitusExtension* ext) {
+  engine::TempRelation rel;
+  rel.column_names = {"node_name", "poolers",         "client_sessions",
+                      "in_use",    "idle",            "waiters",
+                      "attaches",  "detaches",        "state_replays",
+                      "attach_timeouts",              "wait_p99_ms"};
+  rel.column_types = {sql::TypeId::kText, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8, sql::TypeId::kInt8,
+                      sql::TypeId::kFloat8};
+  for (const std::string& name : ext->directory().names()) {
+    engine::Node* node = ext->directory().Find(name);
+    if (node == nullptr || node->is_down()) continue;
+    PoolSample s = SamplePool(node);
+    if (!s.present) continue;
+    rel.rows.push_back(
+        {sql::Datum::Text(name), sql::Datum::Int8(s.poolers),
+         sql::Datum::Int8(s.sessions), sql::Datum::Int8(s.in_use),
+         sql::Datum::Int8(s.idle), sql::Datum::Int8(s.waiters),
+         sql::Datum::Int8(s.attaches), sql::Datum::Int8(s.detaches),
+         sql::Datum::Int8(s.replays), sql::Datum::Int8(s.timeouts),
+         sql::Datum::Float8(s.wait_p99_ms)});
+  }
+  return rel;
+}
+
 engine::TempRelation BuildStatActivity(CitusExtension* ext) {
   engine::TempRelation rel;
   rel.column_names = {"node_name", "local_xid", "dist_txn_id", "state"};
@@ -67,6 +131,20 @@ engine::TempRelation BuildStatActivity(CitusExtension* ext) {
            sql::Datum::Text(node->locks().IsWaiting(xid) ? "waiting"
                                                          : "active")});
     }
+  }
+  // Pooled client sessions surface here too: one aggregate row per node
+  // fronted by a transaction pooler, so multiplexed sessions that hold no
+  // server transaction (and hence registered no xid above) stay visible.
+  for (const std::string& name : ext->directory().names()) {
+    engine::Node* node = ext->directory().Find(name);
+    if (node == nullptr || node->is_down()) continue;
+    PoolSample s = SamplePool(node);
+    if (!s.present || s.sessions == 0) continue;
+    rel.rows.push_back(
+        {sql::Datum::Text(name), sql::Datum::Null(),
+         sql::Datum::Text("pooled:" + std::to_string(s.sessions) +
+                          " sessions"),
+         sql::Datum::Text(s.waiters > 0 ? "pool-waiting" : "pooled")});
   }
   return rel;
 }
@@ -148,10 +226,12 @@ engine::TempRelation BuildStatMetadataSync(CitusExtension* ext) {
   engine::TempRelation rel;
   rel.column_names = {"node_name",  "is_authority", "synced",
                       "version",    "last_sync_time_ms",
-                      "round_trips", "syncs", "attempts"};
+                      "round_trips", "syncs", "attempts",
+                      "delta_syncs", "bytes_sent"};
   rel.column_types = {sql::TypeId::kText,   sql::TypeId::kInt8,
                       sql::TypeId::kInt8,   sql::TypeId::kInt8,
                       sql::TypeId::kFloat8, sql::TypeId::kInt8,
+                      sql::TypeId::kInt8,   sql::TypeId::kInt8,
                       sql::TypeId::kInt8,   sql::TypeId::kInt8};
   const CitusMetadata& md = ext->metadata();
   if (ext->IsMetadataAuthority()) {
@@ -160,6 +240,7 @@ engine::TempRelation BuildStatMetadataSync(CitusExtension* ext) {
                         sql::Datum::Int8(static_cast<int64_t>(
                             md.cluster_version())),
                         sql::Datum::Null(), sql::Datum::Int8(0),
+                        sql::Datum::Int8(0), sql::Datum::Int8(0),
                         sql::Datum::Int8(0), sql::Datum::Int8(0)});
     for (const auto& [name, state] : ext->sync_states()) {
       rel.rows.push_back(
@@ -168,7 +249,9 @@ engine::TempRelation BuildStatMetadataSync(CitusExtension* ext) {
            sql::Datum::Int8(static_cast<int64_t>(state.version)),
            sql::Datum::Float8(static_cast<double>(state.last_sync_time) / 1e6),
            sql::Datum::Int8(state.round_trips), sql::Datum::Int8(state.syncs),
-           sql::Datum::Int8(state.attempts)});
+           sql::Datum::Int8(state.attempts),
+           sql::Datum::Int8(state.delta_syncs),
+           sql::Datum::Int8(state.bytes_sent)});
     }
   } else {
     rel.rows.push_back(
@@ -176,7 +259,7 @@ engine::TempRelation BuildStatMetadataSync(CitusExtension* ext) {
          sql::Datum::Int8(md.mx_synced() ? 1 : 0),
          sql::Datum::Int8(static_cast<int64_t>(md.cluster_version())),
          sql::Datum::Null(), sql::Datum::Int8(0), sql::Datum::Int8(0),
-         sql::Datum::Int8(0)});
+         sql::Datum::Int8(0), sql::Datum::Int8(0), sql::Datum::Int8(0)});
   }
   return rel;
 }
@@ -197,8 +280,9 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   bool wants_plan_cache = names.count(kStatPlanCache) > 0;
   bool wants_failures = names.count(kStatFailures) > 0;
   bool wants_metadata_sync = names.count(kStatMetadataSync) > 0;
+  bool wants_pools = names.count(kStatPools) > 0;
   if (!wants_statements && !wants_activity && !wants_plan_cache &&
-      !wants_failures && !wants_metadata_sync) {
+      !wants_failures && !wants_metadata_sync && !wants_pools) {
     return std::optional<engine::QueryResult>();
   }
   engine::TempRelation statements;
@@ -226,6 +310,11 @@ Result<std::optional<engine::QueryResult>> MaybeExecuteStatView(
   if (wants_metadata_sync) {
     metadata_sync = BuildStatMetadataSync(ext);
     temps[kStatMetadataSync] = &metadata_sync;
+  }
+  engine::TempRelation pools;
+  if (wants_pools) {
+    pools = BuildStatPools(ext);
+    temps[kStatPools] = &pools;
   }
   CITUSX_ASSIGN_OR_RETURN(
       engine::QueryResult r,

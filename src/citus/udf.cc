@@ -314,6 +314,7 @@ void CitusExtension::RegisterUdfs() {
     }
     ext->metadata().procedures[proc.name] = proc;
     ext->metadata().BumpClusterVersion();
+    ext->metadata().TouchProcedures();
     ext->MaybeSyncMetadata();
     return sql::Datum::Null();
   };
@@ -363,6 +364,7 @@ void CitusExtension::RegisterUdfs() {
     }
     ext->metadata().workers.push_back(name);
     ext->metadata().BumpClusterVersion();
+    ext->metadata().TouchWorkers();
     // Sync schema to the new node: shells for every Citus table, plus a
     // replica of every reference table. Shards move only when the user
     // rebalances (§3.4).
@@ -448,6 +450,7 @@ void CitusExtension::RegisterUdfs() {
     // The version bump precedes the per-table touches below so incremental
     // sync ships the shrunken replica lists.
     ext->metadata().BumpClusterVersion();
+    ext->metadata().TouchWorkers();
     AdaptiveExecutor executor(ext);
     for (auto& [tname, table] : ext->metadata().mutable_tables()) {
       if (!table.is_reference) continue;
@@ -498,7 +501,8 @@ void CitusExtension::RegisterUdfs() {
       return Status::InvalidArgument(
           "operation is not allowed on a worker node");
     }
-    CITUSX_RETURN_IF_ERROR(ext->SyncMetadataToNode(args[0].ToText()));
+    CITUSX_RETURN_IF_ERROR(
+        ext->SyncMetadataToNode(args[0].ToText(), /*force=*/true));
     return sql::Datum::Null();
   };
 
@@ -509,7 +513,8 @@ void CitusExtension::RegisterUdfs() {
       return Status::InvalidArgument(
           "operation is not allowed on a worker node");
     }
-    CITUSX_ASSIGN_OR_RETURN(int synced, ext->SyncMetadataToWorkers());
+    CITUSX_ASSIGN_OR_RETURN(int synced,
+                            ext->SyncMetadataToWorkers(/*force=*/true));
     return sql::Datum::Int8(synced);
   };
 
@@ -532,6 +537,19 @@ void CitusExtension::RegisterUdfs() {
           "citus_internal_metadata_apply(payload)");
     }
     CITUSX_RETURN_IF_ERROR(ApplyMetadataPayload(ext, args[0].ToText()));
+    return sql::Datum::Null();
+  };
+
+  udfs["citus_internal_metadata_apply_delta"] =
+      [ext](engine::Session& session,
+            const std::vector<sql::Datum>& args) -> Result<sql::Datum> {
+    if (args.empty()) {
+      return Status::InvalidArgument(
+          "citus_internal_metadata_apply_delta(payload)");
+    }
+    // Validates the base version, applies, and publishes atomically; a
+    // mismatch is a SQL error and the authority falls back to a full sync.
+    CITUSX_RETURN_IF_ERROR(ApplyMetadataDelta(ext, args[0].ToText()));
     return sql::Datum::Null();
   };
 

@@ -338,6 +338,12 @@ Result<QueryResult> Session::ExecuteParsed(
   if (stmt.kind == sql::Statement::Kind::kDeallocate) {
     return ExecuteDeallocate(*stmt.deallocate);
   }
+  if (stmt.kind == sql::Statement::Kind::kDiscard) {
+    DiscardAll();
+    QueryResult r;
+    r.command_tag = "DISCARD ALL";
+    return r;
+  }
   return DispatchStatement(stmt, params);
 }
 

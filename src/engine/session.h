@@ -73,6 +73,17 @@ class Session {
   void SetVar(const std::string& name, const std::string& value);
   std::string GetVar(const std::string& name) const;
 
+  /// DISCARD ALL: drop every piece of SQL-visible session state — variables
+  /// and prepared statements — returning the backend to a neutral state a
+  /// transaction pooler can hand to a different client. Backend-local
+  /// resource caches (extension_state: worker connections, plan cache) are
+  /// deliberately retained; they carry no client-visible semantics and
+  /// keeping them warm is what makes pooled backends cheap to recycle.
+  void DiscardAll() {
+    vars_.clear();
+    prepared_.clear();
+  }
+
   /// An execution context bound to the current transaction, with a fresh
   /// statement snapshot.
   ExecContext MakeExecContext(const std::vector<sql::Datum>* params);

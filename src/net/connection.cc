@@ -97,6 +97,23 @@ Result<std::unique_ptr<Connection>> Connection::Open(sim::Simulation* sim,
                 "server closed the connection unexpectedly (" +
                 server->name() + " restarted)");
             resp.transport = true;
+          } else if (req->kind == Request::Kind::kPipeline) {
+            // Pipeline mode: each statement is its own implicit transaction
+            // with its own outcome; a SQL error does not skip the rest. A
+            // crash mid-pipeline is caught by the epoch check below, which
+            // discards the partial outcomes (the reply never hits the wire).
+            session->SetVar("citusx.trace_ctx", req->trace_context);
+            resp.outcomes.reserve(req->batch.size());
+            for (const auto& sql : req->batch) {
+              StatementOutcome out;
+              Result<engine::QueryResult> r = session->Execute(sql);
+              if (r.ok()) {
+                out.result = std::move(r).value();
+              } else {
+                out.status = r.status();
+              }
+              resp.outcomes.push_back(std::move(out));
+            }
           } else if (!req->batch.empty()) {
             session->SetVar("citusx.trace_ctx", req->trace_context);
             for (const auto& sql : req->batch) {
@@ -159,6 +176,12 @@ Result<std::unique_ptr<Connection>> Connection::OpenWithRetry(
 }
 
 Result<engine::QueryResult> Connection::RoundTrip(Request req) {
+  CITUSX_ASSIGN_OR_RETURN(Response resp, RoundTripRaw(std::move(req)));
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.result);
+}
+
+Result<Connection::Response> Connection::RoundTripRaw(Request req) {
   if (closed_) return Status::Internal("connection is closed");
   if (broken_) {
     return Status::ConnectionLost("connection to " + server_->name() +
@@ -238,6 +261,11 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
   }
   // Inbound latency plus result bandwidth plus client-side deserialization.
   int64_t in_bytes = ResultWireBytes(resp->result);
+  int64_t in_rows = resp->result.NumRows();
+  for (const auto& out : resp->outcomes) {
+    in_bytes += ResultWireBytes(out.result);
+    in_rows += out.result.NumRows();
+  }
   bytes_in_metric_->Inc(in_bytes);
   sim::Time in_bw = in_bytes * sim::kSecond /
                     server_->cost().net_bytes_per_second;
@@ -245,19 +273,16 @@ Result<engine::QueryResult> Connection::RoundTrip(Request req) {
     return Status::Cancelled("simulation stopping");
   }
   if (client_ != nullptr) {
-    if (!client_->cpu().Consume(resp->result.NumRows() *
-                                client_->cost().cpu_per_row_net)) {
+    if (!client_->cpu().Consume(in_rows * client_->cost().cpu_per_row_net)) {
       return Status::Cancelled("simulation stopping");
     }
   }
-  if (!resp->status.ok()) {
-    // Transport failures (the backend died with the server) break the
-    // connection; SQL-level errors — including an Unavailable raised by a
-    // distributed executor running *on* the server — leave it usable.
-    if (resp->transport) broken_ = true;
-    return resp->status;
-  }
-  return std::move(resp->result);
+  // Transport failures (the backend died with the server) break the
+  // connection; SQL-level errors — including an Unavailable raised by a
+  // distributed executor running *on* the server — leave it usable. Both
+  // are reported through the returned Response's status.
+  if (!resp->status.ok() && resp->transport) broken_ = true;
+  return std::move(*resp);
 }
 
 Result<engine::QueryResult> Connection::QueryBatch(
@@ -267,6 +292,17 @@ Result<engine::QueryResult> Connection::QueryBatch(
   for (const auto& s : statements) req.sql += s + "; ";
   req.batch = std::move(statements);
   return RoundTrip(std::move(req));
+}
+
+Result<std::vector<StatementOutcome>> Connection::QueryPipeline(
+    std::vector<std::string> statements) {
+  Request req;
+  req.kind = Request::Kind::kPipeline;
+  for (const auto& s : statements) req.sql += s + "; ";
+  req.batch = std::move(statements);
+  CITUSX_ASSIGN_OR_RETURN(Response resp, RoundTripRaw(std::move(req)));
+  if (!resp.status.ok()) return resp.status;  // transport-level failure
+  return std::move(resp.outcomes);
 }
 
 Result<engine::QueryResult> Connection::Query(const std::string& sql) {

@@ -46,6 +46,13 @@ class ConnectionGate {
   int64_t rejected_ = 0;
 };
 
+/// Outcome of one statement inside a pipelined round trip: its own status
+/// (SQL-level success or failure) and, on success, its result.
+struct StatementOutcome {
+  Status status;
+  engine::QueryResult result;
+};
+
 /// A client handle to a SQL connection. Create with Connection::Open; all
 /// methods must be called from a simulated process. Not thread-safe across
 /// simulated processes (one in-flight request at a time, like libpq).
@@ -83,6 +90,16 @@ class Connection {
   /// batching); returns the last statement's result, or the first error.
   Result<engine::QueryResult> QueryBatch(std::vector<std::string> statements);
 
+  /// Run several *independent* statements in one round trip — pipeline mode
+  /// with a sync point after each statement. Every statement runs in its own
+  /// implicit transaction and reports its own outcome; a SQL error in one
+  /// does not skip the rest (unlike QueryBatch, which stops at the first
+  /// error). The call-level Status covers the transport only: when it fails
+  /// (backend died, reply dropped, deadline) the fate of every statement in
+  /// the batch is unknown and the connection is broken.
+  Result<std::vector<StatementOutcome>> QueryPipeline(
+      std::vector<std::string> statements);
+
   /// COPY rows into a table over this connection.
   Result<engine::QueryResult> CopyIn(
       const std::string& table, const std::vector<std::string>& columns,
@@ -117,11 +134,13 @@ class Connection {
 
  private:
   struct Request {
-    enum class Kind { kQuery, kCopy };
+    enum class Kind { kQuery, kCopy, kPipeline };
     Kind kind = Kind::kQuery;
     uint64_t seq = 0;  // matches responses (incl. timeout timers) to requests
     std::string sql;
-    std::vector<std::string> batch;  // when non-empty, run all, return last
+    /// kQuery: when non-empty, run all, return last (QueryBatch).
+    /// kPipeline: run all independently, one outcome each (QueryPipeline).
+    std::vector<std::string> batch;
     std::vector<sql::Datum> params;
     std::string copy_table;
     std::vector<std::string> copy_columns;
@@ -136,12 +155,14 @@ class Connection {
     bool transport = false;
     Status status;
     engine::QueryResult result;
+    std::vector<StatementOutcome> outcomes;  // kPipeline replies only
   };
 
   Connection(sim::Simulation* sim, engine::Node* client, engine::Node* server,
              ConnectionGate* gate);
 
   Result<engine::QueryResult> RoundTrip(Request req);
+  Result<Response> RoundTripRaw(Request req);
   sim::Time HalfRtt() const;
 
   sim::Simulation* sim_;

@@ -286,6 +286,7 @@ struct Statement {
     kPrepare,     // PREPARE name AS <stmt>
     kExecute,     // EXECUTE name(args)
     kDeallocate,  // DEALLOCATE name
+    kDiscard,     // DISCARD ALL — reset session state (pooler reset query)
   };
   Kind kind;
 

@@ -371,6 +371,8 @@ std::string DeparseStatement(const Statement& stmt,
       return stmt.deallocate->name.empty()
                  ? "DEALLOCATE ALL"
                  : "DEALLOCATE " + stmt.deallocate->name;
+    case Statement::Kind::kDiscard:
+      return "DISCARD ALL";
   }
   return "";
 }

@@ -157,6 +157,15 @@ class Parser {
     }
     if (AcceptKeyword("execute")) return ParseExecute();
     if (AcceptKeyword("deallocate")) return ParseDeallocate();
+    if (AcceptKeyword("discard")) {
+      // DISCARD ALL: reset every piece of session state (GUCs, prepared
+      // statements) — the reset statement transaction poolers run when a
+      // backend is handed to a different client session.
+      CITUSX_RETURN_IF_ERROR(ExpectKeyword("all"));
+      Statement discard;
+      discard.kind = Statement::Kind::kDiscard;
+      return discard;
+    }
     if (CurIsKeyword("begin") || CurIsKeyword("commit") ||
         CurIsKeyword("rollback")) {
       return ParseTxn();

@@ -9,6 +9,7 @@
 #include "citus/deploy.h"
 #include "citus/rebalancer.h"
 #include "common/str.h"
+#include "pool/pooler.h"
 #include "sim/fault.h"
 
 namespace citusx::citus {
@@ -166,6 +167,68 @@ TEST_F(ChaosNetTest, ServerRestartBreaksEstablishedConnections) {
 // ---------------------------------------------------------------------------
 // Failure-hardened distributed execution (Citus deployment).
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Transaction-pool admission under faults: a session that cannot attach
+// before its deadline gets a retryable error, never a hang.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosNetTest, PoolAttachFailsRetryablyWhileNodeRefusesConnections) {
+  MakeCluster(sim::DefaultCostModel(), 2);
+  RunSim([&] {
+    pool::PoolerOptions opts;
+    opts.pool_size = 2;
+    opts.attach_timeout = 50 * sim::kMillisecond;
+    pool::TransactionPooler pooler(&sim_, &cluster_->directory(), nullptr,
+                                   "worker1", opts);
+    sim_.faults().SetRefuseConnections("worker1", true);
+    auto session = pooler.OpenSession();
+    sim::Time t0 = sim_.now();
+    auto r = session->Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << r.status().ToString();
+    EXPECT_EQ(r.status().error_class(), ErrorClass::kRetryableTransient);
+    // Bounded by the deadline (plus one retry-probe interval), not a hang.
+    EXPECT_GE(sim_.now() - t0, opts.attach_timeout);
+    EXPECT_LE(sim_.now() - t0, opts.attach_timeout + 4 * opts.retry_interval);
+    EXPECT_GT(cluster_->directory()
+                  .Find("worker1")
+                  ->metrics()
+                  .CounterValue("pool.attach_timeouts"),
+              0);
+    // The fault lifts and the same session works — the failure was
+    // retryable in practice, not just in classification.
+    sim_.faults().SetRefuseConnections("worker1", false);
+    auto ok = session->Query("SELECT 1");
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  });
+}
+
+TEST_F(ChaosNetTest, PoolSaturationTimesOutWaiterThenRecovers) {
+  MakeCluster(sim::DefaultCostModel(), 2);
+  RunSim([&] {
+    pool::PoolerOptions opts;
+    opts.pool_size = 1;
+    opts.attach_timeout = 50 * sim::kMillisecond;
+    pool::TransactionPooler pooler(&sim_, &cluster_->directory(), nullptr,
+                                   "worker1", opts);
+    auto holder = pooler.OpenSession();
+    auto waiter = pooler.OpenSession();
+    // holder pins the only backend for the whole transaction block.
+    ASSERT_TRUE(holder->Query("BEGIN").ok());
+    auto r = waiter->Query("SELECT 1");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << r.status().ToString();
+    ASSERT_TRUE(holder->Query("COMMIT").ok());
+    // The backend detached at the transaction boundary; the waiter's retry
+    // attaches without growing the pool.
+    auto ok = waiter->Query("SELECT 1");
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_EQ(pooler.physical_connections(), 1);
+  });
+}
 
 class ChaosTest : public ::testing::Test {
  protected:

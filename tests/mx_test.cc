@@ -490,6 +490,56 @@ TEST_F(MxTest, DdlOnDistributedTablesRefusedOnWorker) {
 
 // Adding a node mid-flight syncs it and extends reference-table placement;
 // dropped tables disappear from worker copies on the next sync.
+// Once a worker is synced, further metadata changes ship as one-round-trip
+// deltas; a restarted worker (stale base) falls back to the full protocol
+// and then resumes delta syncing.
+TEST_F(MxTest, DeltaSyncShipsIncrementsInOneRoundTrip) {
+  MakeDeployment(2);
+  RunSim([&] {
+    auto cconn = deploy_->Connect();
+    ASSERT_TRUE(cconn.ok());
+    MustQuery(**cconn, "CREATE TABLE kv (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv', 'key')");
+    CitusExtension* coord = ExtOf("coordinator");
+    const NodeSyncState& st = coord->sync_states().at("worker1");
+    int64_t deltas0 = st.delta_syncs;
+    int64_t rts0 = st.round_trips;
+    // DDL on an already-synced cluster: the version bump syncs via delta.
+    MustQuery(**cconn, "CREATE INDEX kv_v ON kv (v)");
+    EXPECT_GT(st.delta_syncs, deltas0);
+    EXPECT_EQ(st.round_trips, rts0 + 1);  // one RT, not three
+    EXPECT_EQ(ExtOf("worker1")->metadata().cluster_version(),
+              deploy_->metadata().cluster_version());
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    // A dropped table rides the delta's drop log.
+    MustQuery(**cconn, "DROP TABLE kv");
+    EXPECT_EQ(ExtOf("worker1")->metadata().Find("kv"), nullptr);
+    // Restart invalidates the peer's epoch: the next sync must be a full
+    // round (delta count unchanged), after which deltas resume.
+    int64_t deltas1 = st.delta_syncs;
+    sim_.faults().Crash("worker1");
+    sim_.faults().Restart("worker1");
+    MustQuery(**cconn, "CREATE TABLE kv2 (key bigint PRIMARY KEY, v text)");
+    MustQuery(**cconn, "SELECT create_distributed_table('kv2', 'key')");
+    EXPECT_TRUE(ExtOf("worker1")->MxReady());
+    EXPECT_EQ(st.delta_syncs, deltas1);  // full round after the restart
+    MustQuery(**cconn, "CREATE INDEX kv2_v ON kv2 (v)");
+    EXPECT_GT(st.delta_syncs, deltas1);  // deltas resume
+    // A non-forcing sweep (the eager post-DDL / maintenance-daemon path)
+    // over an already-current peer must ship nothing: a sweep triggered by
+    // one lagging node must not re-send the catalog to the other 127.
+    int64_t rts2 = st.round_trips;
+    int64_t attempts2 = st.attempts;
+    auto swept = coord->SyncMetadataToWorkers();
+    ASSERT_TRUE(swept.ok());
+    EXPECT_EQ(st.round_trips, rts2);
+    EXPECT_EQ(st.attempts, attempts2);
+    // The explicit repair UDF forces a full re-ship.
+    MustQuery(**cconn, "SELECT citus_sync_metadata()");
+    EXPECT_GT(st.round_trips, rts2);
+  });
+}
+
 TEST_F(MxTest, AddNodeAndDropTablePropagateThroughSync) {
   DeploymentOptions options;
   options.num_workers = 2;

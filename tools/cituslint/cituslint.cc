@@ -212,12 +212,16 @@ const std::map<std::string, std::set<std::string>>& LayerDag() {
       // columnar storage directly.
       {"exec", {"exec", "storage", "sql", "sim", "obs", "common"}},
       {"net", {"net", "engine", "storage", "sql", "sim", "obs", "common"}},
+      // The transaction-pooling front tier sits below the extension: it
+      // must work against any backend, so citus/ headers are off limits.
+      {"pool", {"pool", "net", "engine", "storage", "sql", "sim", "obs",
+                "common"}},
       // The extension: engine access is restricted to the hook API header
       // (special-cased below); storage/ is fully off limits.
       {"citus", {"citus", "exec", "net", "sql", "sim", "obs", "common"}},
       {"workload",
-       {"workload", "citus", "exec", "net", "engine", "storage", "sql", "sim",
-        "obs", "common"}},
+       {"workload", "citus", "pool", "exec", "net", "engine", "storage", "sql",
+        "sim", "obs", "common"}},
   };
   return kDag;
 }
@@ -670,6 +674,19 @@ int SelfTest() {
     });
     expect(count_rule(r, "layering") == 3,
            "layering holds exec to hooks.h-only engine access");
+  }
+  {  // layering: the pool tier may use net/engine but never citus (it must
+     // stay backend-agnostic), and net may not reach up into pool.
+    LintResult r = RunLint({
+        make("src/common/ordered_mutex.h", kMutexHeader),
+        make("src/pool/good.cc", "#include \"net/cluster.h\"\n"
+                                 "#include \"engine/session.h\"\n"),
+        make("src/pool/bad.cc", "#include \"citus/extension.h\"\n"),
+        make("src/net/bad.cc", "#include \"pool/pooler.h\"\n"),
+        make("src/workload/good.cc", "#include \"pool/pooler.h\"\n"),
+    });
+    expect(count_rule(r, "layering") == 2,
+           "layering keeps pool below citus and above net");
   }
   {  // status-discard: (void) and static_cast<void>, but not f(void) decls
      // or commented/quoted occurrences.
